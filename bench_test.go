@@ -1,0 +1,233 @@
+package btpan
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (DESIGN.md §3 maps each to its experiment). Campaigns run once
+// per process as shared setup; each benchmark times the regeneration of its
+// artefact from the collected data and logs the measured rows next to the
+// paper's values. Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/testbed"
+)
+
+// benchDuration keeps the whole bench suite in the tens of seconds while
+// still collecting thousands of failure-data items.
+const benchDuration = 3 * Day
+
+var (
+	campaignOnce sync.Once
+	campaignRes  *CampaignResult
+	campaignErr  error
+)
+
+// benchCampaign runs the shared SIRAs-scenario campaign once.
+func benchCampaign(b *testing.B) *CampaignResult {
+	b.Helper()
+	campaignOnce.Do(func() {
+		campaignRes, campaignErr = RunCampaign(CampaignConfig{
+			Seed: 1, Duration: benchDuration, Scenario: ScenarioSIRAs,
+		})
+	})
+	if campaignErr != nil {
+		b.Fatal(campaignErr)
+	}
+	return campaignRes
+}
+
+var (
+	table4Once sync.Once
+	table4Res  *analysis.Table4
+	table4Err  error
+)
+
+// benchTable4 runs the four scenario campaigns once.
+func benchTable4(b *testing.B) *analysis.Table4 {
+	b.Helper()
+	table4Once.Do(func() {
+		table4Res, table4Err = Table4(1, benchDuration)
+	})
+	if table4Err != nil {
+		b.Fatal(table4Err)
+	}
+	return table4Res
+}
+
+var (
+	fixedOnce sync.Once
+	fixedRes  *testbed.Results
+	fixedErr  error
+)
+
+// benchFixed runs the Figure 3b fixed-workload experiment once.
+func benchFixed(b *testing.B) *testbed.Results {
+	b.Helper()
+	fixedOnce.Do(func() {
+		fixedRes, fixedErr = RunFixedExperiment(FixedExperimentConfig{
+			Seed: 1, Duration: 8 * Day,
+		})
+	})
+	if fixedErr != nil {
+		b.Fatal(fixedErr)
+	}
+	return fixedRes
+}
+
+// BenchmarkFig2Coalescence regenerates the coalescence-window sensitivity
+// curve and its knee (paper: the knee picks W = 330 s).
+func BenchmarkFig2Coalescence(b *testing.B) {
+	res := benchCampaign(b)
+	b.ResetTimer()
+	var knee float64
+	for i := 0; i < b.N; i++ {
+		_, knee = res.SensitivityCurve()
+	}
+	b.ReportMetric(knee, "knee-s")
+	b.Logf("Fig 2: sensitivity knee at %.0f s (paper: 330 s)", knee)
+}
+
+// BenchmarkTable2ErrorFailure regenerates the error-failure relationship
+// table (paper anchors: HCI 49.9 %, PAN connect <- SDP 96.5 %, switch-role
+// request <- HCI 91.1 %).
+func BenchmarkTable2ErrorFailure(b *testing.B) {
+	res := benchCampaign(b)
+	b.ResetTimer()
+	var t2 *analysis.Table2
+	for i := 0; i < b.N; i++ {
+		t2 = res.Table2()
+	}
+	b.Logf("Table 2: HCI total %.1f%% (paper 49.9), PAN<-SDP %.1f%% (96.5), SwReq<-HCI %.1f%% (91.1)",
+		t2.SourceShare(core.SrcHCI),
+		t2.RowShare(core.UFPANConnectFailed, core.SrcSDP),
+		t2.RowShare(core.UFSwitchRoleRequestFailed, core.SrcHCI))
+}
+
+// BenchmarkTable3SIRA regenerates the SIRA effectiveness table (paper
+// anchors: NAP-not-found -> stack reset 61.4 %, packet loss -> socket reset
+// 5.9 %, connect failed expensive 84.6 %).
+func BenchmarkTable3SIRA(b *testing.B) {
+	res := benchCampaign(b)
+	b.ResetTimer()
+	var t3 *analysis.Table3
+	for i := 0; i < b.N; i++ {
+		t3 = res.Table3()
+	}
+	b.Logf("Table 3: NAPnf->stack %.1f%% (paper 61.4), loss->socket %.1f%% (5.9), connect expensive %.1f%% (84.6)",
+		t3.Share(core.UFNAPNotFound, core.RABTStackReset),
+		t3.Share(core.UFPacketLoss, core.RAIPSocketReset),
+		t3.ExpensiveShare(core.UFConnectFailed))
+}
+
+// BenchmarkTable4Dependability regenerates the dependability-improvement
+// comparison (paper: availability 0.688/0.907/0.923/0.94; MTTF 630.56 ->
+// 1905.05 s; MTTR 285.92 -> 70.94/120.84 s).
+func BenchmarkTable4Dependability(b *testing.B) {
+	t4 := benchTable4(b)
+	b.ResetTimer()
+	var a, g, m float64
+	for i := 0; i < b.N; i++ {
+		a, g, m = t4.Improvement()
+	}
+	b.Logf("Table 4: avail +%.1f%% vs reboot (paper 36.6), +%.2f%% vs app+reboot (3.64), MTTF %+.0f%% (202)", a, g, m)
+	for _, c := range t4.Columns {
+		b.Logf("  %-24s MTTF %8.2fs  MTTR %7.2fs  avail %.3f  cover %5.1f%%  mask %5.1f%%",
+			c.Scenario, c.MTTF, c.MTTR, c.Availability, c.CoveragePct, c.MaskingPct)
+	}
+}
+
+// BenchmarkFig3aPacketType regenerates the packet-loss-by-packet-type
+// distribution (paper: DM1 worst, DH5 best; prefer multi-slot and DHx).
+func BenchmarkFig3aPacketType(b *testing.B) {
+	res := benchCampaign(b)
+	b.ResetTimer()
+	var bars []analysis.Bar
+	for i := 0; i < b.N; i++ {
+		bars = res.Fig3a()
+	}
+	b.Logf("Fig 3a (per-byte loss shares): %s", barString(bars))
+}
+
+// BenchmarkFig3bConnectionAge regenerates the connection-age loss histogram
+// (paper: young connections fail more).
+func BenchmarkFig3bConnectionAge(b *testing.B) {
+	res := benchFixed(b)
+	b.ResetTimer()
+	var bars []analysis.Bar
+	for i := 0; i < b.N; i++ {
+		bars = Fig3b(res, 1000, 10)
+	}
+	b.Logf("Fig 3b (loss share by packets before loss): %s", barString(bars))
+}
+
+// BenchmarkFig3cApplications regenerates the loss-by-application
+// distribution (paper: P2P > streaming > Web/Mail/FTP).
+func BenchmarkFig3cApplications(b *testing.B) {
+	res := benchCampaign(b)
+	b.ResetTimer()
+	var bars []analysis.Bar
+	for i := 0; i < b.N; i++ {
+		bars = res.Fig3c()
+	}
+	b.Logf("Fig 3c (loss share by app): %s", barString(bars))
+}
+
+// BenchmarkFig4PerHost regenerates the per-host failure distribution
+// (paper: bind only on Azzurro/Win, switch-role-command on the PDAs).
+func BenchmarkFig4PerHost(b *testing.B) {
+	res := benchCampaign(b)
+	b.ResetTimer()
+	var rows []analysis.Fig4Row
+	for i := 0; i < b.N; i++ {
+		rows = res.Fig4()
+	}
+	for _, r := range rows {
+		b.Logf("Fig 4: %-8s bind %4.1f%%  swRoleCmd %4.1f%%  (of %d failures)",
+			r.Node, r.Shares[core.UFBindFailed], r.Shares[core.UFSwitchRoleCommandFailed], r.Total)
+	}
+}
+
+// BenchmarkSection6Scalars regenerates the §6 scalar findings (paper: 84 %
+// random-workload share; idle 27.3 s vs 26.9 s; distance split
+// 33.33/37.14/29.63 %).
+func BenchmarkSection6Scalars(b *testing.B) {
+	res := benchCampaign(b)
+	b.ResetTimer()
+	var s *analysis.Scalars
+	for i := 0; i < b.N; i++ {
+		s = res.Scalars()
+	}
+	b.Logf("§6: random share %.1f%% (paper 84), idle failed/clean %.1f/%.1f s (27.3/26.9), distance %.1f/%.1f/%.1f%% (33.3/37.1/29.6)",
+		s.RandomSharePct, s.IdleBeforeFailedMean, s.IdleBeforeCleanMean,
+		s.DistanceShares[0.5], s.DistanceShares[5], s.DistanceShares[7])
+}
+
+// BenchmarkCampaignDay measures end-to-end simulation throughput: one
+// virtual day of both testbeds per iteration.
+func BenchmarkCampaignDay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := RunCampaign(CampaignConfig{
+			Seed: uint64(i + 1), Duration: 1 * Day, Scenario: ScenarioSIRAs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// barString renders bars compactly for bench logs.
+func barString(bars []analysis.Bar) string {
+	out := ""
+	for i, bar := range bars {
+		if i > 0 {
+			out += "  "
+		}
+		out += fmt.Sprintf("%s=%.1f%%", bar.Label, bar.Share)
+	}
+	return out
+}

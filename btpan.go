@@ -1,0 +1,266 @@
+// Package btpan is the public API of the Bluetooth PAN failure-data
+// reproduction (Cinque, Cotroneo, Russo — DSN 2006): it assembles the
+// simulated testbeds, runs failure-data campaigns under the four recovery
+// scenarios, and regenerates every table and figure of the paper's
+// evaluation from the collected data.
+//
+// A minimal session:
+//
+//	res, err := btpan.RunCampaign(btpan.CampaignConfig{
+//		Seed:     1,
+//		Duration: 10 * btpan.Day,
+//		Scenario: btpan.ScenarioSIRAs,
+//	})
+//	if err != nil { ... }
+//	fmt.Println(res.Table2().Render())
+//
+// The heavy lifting lives in the internal packages (simulation kernel,
+// radio channel, Bluetooth stack layers, workload, coalescence, analysis);
+// this package wires them together behind a small surface.
+package btpan
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/coalesce"
+	"repro/internal/core"
+	"repro/internal/recovery"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+// Scenario selects the recovery regime of a campaign (Table 4 columns).
+type Scenario = recovery.Scenario
+
+// Recovery scenarios.
+const (
+	ScenarioRebootOnly   = recovery.ScenarioRebootOnly
+	ScenarioAppReboot    = recovery.ScenarioAppReboot
+	ScenarioSIRAs        = recovery.ScenarioSIRAs
+	ScenarioSIRAsMasking = recovery.ScenarioSIRAsMasking
+)
+
+// Duration helpers re-exported for campaign configuration.
+const (
+	Second = sim.Second
+	Minute = sim.Minute
+	Hour   = sim.Hour
+	Day    = sim.Day
+)
+
+// CampaignConfig configures one two-testbed campaign.
+type CampaignConfig struct {
+	// Seed roots all randomness; equal seeds reproduce campaigns exactly.
+	Seed uint64
+	// Duration is the virtual observation window (the paper ran 18 months;
+	// a few virtual days already give thousands of failures).
+	Duration sim.Time
+	// Scenario selects the recovery regime.
+	Scenario Scenario
+}
+
+// Validate reports configuration errors.
+func (c CampaignConfig) Validate() error {
+	if c.Duration <= 0 {
+		return fmt.Errorf("btpan: non-positive campaign duration")
+	}
+	if c.Scenario < ScenarioRebootOnly || c.Scenario > ScenarioSIRAsMasking {
+		return fmt.Errorf("btpan: unknown scenario %d", c.Scenario)
+	}
+	return nil
+}
+
+// CampaignResult bundles both testbeds' collected data.
+type CampaignResult struct {
+	Config    CampaignConfig
+	Random    *testbed.Results
+	Realistic *testbed.Results
+}
+
+// RunCampaign builds both testbeds (random and realistic workloads, seven
+// heterogeneous nodes each), runs them for the configured virtual duration
+// with the mid-campaign hardware replacement, and returns the collected
+// failure data.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c, err := testbed.NewCampaign(cfg.Seed, cfg.Scenario, nil)
+	if err != nil {
+		return nil, err
+	}
+	randomRes, realisticRes := c.Run(cfg.Duration)
+	return &CampaignResult{Config: cfg, Random: randomRes, Realistic: realisticRes}, nil
+}
+
+// AllReports returns both testbeds' user reports (time-sorted per testbed).
+func (r *CampaignResult) AllReports() []core.UserReport {
+	out := make([]core.UserReport, 0, len(r.Random.Reports)+len(r.Realistic.Reports))
+	out = append(out, r.Random.Reports...)
+	out = append(out, r.Realistic.Reports...)
+	return out
+}
+
+// DataItems reports the dataset sizes: user reports, system entries, total
+// (the paper collected 20,854 + 335,697 = 356,551 items over 18 months).
+func (r *CampaignResult) DataItems() (userReports, systemEntries, total int) {
+	u := len(r.Random.Reports) + len(r.Realistic.Reports)
+	s := len(r.Random.Entries) + len(r.Realistic.Entries)
+	return u, s, u + s
+}
+
+// Evidence runs the merge-and-coalesce pipeline over both testbeds with the
+// given window and returns the accumulated error-failure evidence.
+func (r *CampaignResult) Evidence(window sim.Time) *coalesce.Evidence {
+	return r.EvidenceRadius(window, coalesce.RelateRadius)
+}
+
+// EvidenceRadius is Evidence with an explicit adjacency radius.
+func (r *CampaignResult) EvidenceRadius(window, radius sim.Time) *coalesce.Evidence {
+	ev := coalesce.NewEvidence()
+	analysis.BuildEvidenceWithRadius(ev, r.Random.PerNodeReports, r.Random.PerNodeEntries,
+		r.Random.NAPNode, window, radius)
+	analysis.BuildEvidenceWithRadius(ev, r.Realistic.PerNodeReports, r.Realistic.PerNodeEntries,
+		r.Realistic.NAPNode, window, radius)
+	return ev
+}
+
+// Table2 computes the error-failure relationship table at the paper's 330 s
+// coalescence window.
+func (r *CampaignResult) Table2() *analysis.Table2 {
+	return analysis.BuildTable2(r.Evidence(coalesce.PaperWindow))
+}
+
+// Table3 computes the SIRA effectiveness table from both testbeds.
+func (r *CampaignResult) Table3() *analysis.Table3 {
+	return analysis.BuildTable3(r.AllReports())
+}
+
+// Dependability computes one Table 4 column from this campaign.
+func (r *CampaignResult) Dependability() *analysis.Dependability {
+	return analysis.BuildDependability(r.Config.Scenario.String(), r.AllReports(),
+		r.Config.Duration)
+}
+
+// SensitivityCurve reproduces Figure 2's inset: tuple count versus
+// coalescence window over both testbeds' merged logs, plus the knee.
+func (r *CampaignResult) SensitivityCurve() (curve *stats.Curve, kneeSeconds float64) {
+	events := rebuildEvents(r)
+	curve = coalesce.Sensitivity(events, coalesce.DefaultWindows())
+	knee, _ := curve.Knee()
+	return curve, knee
+}
+
+// rebuildEvents merges every node's streams into one time-ordered sequence.
+func rebuildEvents(r *CampaignResult) []coalesce.Event {
+	var reports []core.UserReport
+	var entries []core.SystemEntry
+	for _, res := range []*testbed.Results{r.Random, r.Realistic} {
+		reports = append(reports, res.Reports...)
+		entries = append(entries, res.Entries...)
+	}
+	return coalesce.Merge(reports, entries)
+}
+
+// Fig3a computes the packet-loss-by-packet-type distribution (random WL).
+func (r *CampaignResult) Fig3a() []analysis.Bar {
+	return analysis.Fig3aPacketType(r.Random.Counters)
+}
+
+// Fig3c computes the packet-loss-by-application distribution (realistic WL).
+func (r *CampaignResult) Fig3c() []analysis.Bar {
+	return analysis.Fig3cApplications(r.Realistic.Reports)
+}
+
+// Fig4 computes the per-host failure distribution. The paper's Figure 4
+// uses the realistic workload over 18 months; compressed campaigns use both
+// testbeds so the rare host-specific failure types (bind, switch-role
+// command) accumulate enough occurrences to be visible (documented
+// substitution, see EXPERIMENTS.md).
+func (r *CampaignResult) Fig4() []analysis.Fig4Row {
+	return analysis.Fig4PerHost(r.AllReports())
+}
+
+// Scalars computes the §6 scalar findings.
+func (r *CampaignResult) Scalars() *analysis.Scalars {
+	counters := make(map[string]*workload.Counters)
+	for k, v := range r.Realistic.Counters {
+		counters["realistic/"+k] = v
+	}
+	for k, v := range r.Random.Counters {
+		counters["random/"+k] = v
+	}
+	_, sys, _ := r.DataItems()
+	return analysis.BuildScalars(r.Random.Reports, r.Realistic.Reports, counters, sys)
+}
+
+// Table4 runs the four scenario campaigns and assembles the dependability
+// comparison. Each scenario observes the same virtual duration with its own
+// derived seed, mirroring the paper's estimation of the four regimes from
+// the same testbeds.
+func Table4(seed uint64, duration sim.Time) (*analysis.Table4, error) {
+	t4 := &analysis.Table4{}
+	for _, sc := range recovery.Scenarios() {
+		res, err := RunCampaign(CampaignConfig{
+			Seed: seed, Duration: duration, Scenario: sc,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t4.Columns = append(t4.Columns, res.Dependability())
+	}
+	return t4, nil
+}
+
+// RedundantPiconets evaluates the paper's closing recommendation for
+// critical deployments — redundant, overlapped piconets on top of SIRAs and
+// masking — by running two independent masked campaigns and composing their
+// dependability into a 1-out-of-2 deployment with the given failover time.
+func RedundantPiconets(seed uint64, duration sim.Time, failover sim.Time) (*analysis.RedundantDeployment, error) {
+	a, err := RunCampaign(CampaignConfig{Seed: seed, Duration: duration, Scenario: ScenarioSIRAsMasking})
+	if err != nil {
+		return nil, err
+	}
+	b, err := RunCampaign(CampaignConfig{Seed: seed ^ 0x5EC0DB, Duration: duration, Scenario: ScenarioSIRAsMasking})
+	if err != nil {
+		return nil, err
+	}
+	return &analysis.RedundantDeployment{
+		A:               a.Dependability(),
+		B:               b.Dependability(),
+		FailoverSeconds: failover.Seconds(),
+	}, nil
+}
+
+// FixedExperimentConfig configures the Figure 3b special experiment.
+type FixedExperimentConfig struct {
+	Seed     uint64
+	Duration sim.Time // the paper ran it for two months on Verde and Win
+}
+
+// RunFixedExperiment runs the fixed workload (N = 10000 packets,
+// L_S = L_R = 1691 bytes) on Verde and Win and returns the packet-loss
+// reports for the connection-age histogram.
+func RunFixedExperiment(cfg FixedExperimentConfig) (*testbed.Results, error) {
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("btpan: non-positive experiment duration")
+	}
+	tb, err := testbed.New(testbed.Options{
+		Name: "fixed", Seed: cfg.Seed ^ 0x66697865, Kind: core.WLFixed,
+		Scenario: ScenarioSIRAs, Nodes: []string{"Verde", "Win"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb.Run(cfg.Duration)
+	return tb.Results(), nil
+}
+
+// Fig3b histograms the fixed experiment's packet losses by connection age
+// (packets sent before the loss).
+func Fig3b(res *testbed.Results, binWidth, bins int) []analysis.Bar {
+	return analysis.Fig3bConnectionAge(res.Reports, binWidth, bins)
+}

@@ -1,0 +1,96 @@
+// Command btanalyze re-runs the merge-and-coalesce analysis over stored
+// campaign logs (the files btcampaign writes): the coalescence sensitivity
+// sweep with knee detection, the error-failure relationship table, and the
+// SIRA effectiveness table.
+//
+// Usage:
+//
+//	btanalyze [-dir DIR] [-window SECONDS]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/coalesce"
+	"repro/internal/core"
+	"repro/internal/logging"
+	"repro/internal/sim"
+)
+
+func main() {
+	dir := flag.String("dir", "campaign-data", "directory holding user.jsonl and system.jsonl")
+	windowS := flag.Int("window", 330, "coalescence window in seconds (paper: 330)")
+	flag.Parse()
+
+	reports, err := readReports(filepath.Join(*dir, "user.jsonl"))
+	if err != nil {
+		fatal(err)
+	}
+	entries, err := readEntries(filepath.Join(*dir, "system.jsonl"))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %d user reports, %d system entries\n\n", len(reports), len(entries))
+
+	// Figure 2: the sensitivity sweep over the merged stream.
+	events := coalesce.Merge(reports, entries)
+	curve := coalesce.Sensitivity(events, coalesce.DefaultWindows())
+	knee, _ := curve.Knee()
+	fmt.Printf("coalescence sensitivity: knee at %.0f s (paper picks 330 s)\n\n", knee)
+
+	// Rebuild per-(testbed, node) views for the relationship pipeline.
+	perNodeReports := make(map[string]map[string][]core.UserReport)
+	for _, r := range reports {
+		if perNodeReports[r.Testbed] == nil {
+			perNodeReports[r.Testbed] = make(map[string][]core.UserReport)
+		}
+		perNodeReports[r.Testbed][r.Node] = append(perNodeReports[r.Testbed][r.Node], r)
+	}
+	perNodeEntries := make(map[string]map[string][]core.SystemEntry)
+	for _, e := range entries {
+		if perNodeEntries[e.Testbed] == nil {
+			perNodeEntries[e.Testbed] = make(map[string][]core.SystemEntry)
+		}
+		perNodeEntries[e.Testbed][e.Node] = append(perNodeEntries[e.Testbed][e.Node], e)
+	}
+
+	window := sim.Time(*windowS) * sim.Second
+	ev := coalesce.NewEvidence()
+	for tb, nodeReports := range perNodeReports {
+		analysis.BuildEvidence(ev, nodeReports, perNodeEntries[tb], "Giallo", window)
+	}
+	t2 := analysis.BuildTable2(ev)
+	fmt.Println("== Table 2: error-failure relationship ==")
+	fmt.Print(t2.Render())
+
+	t3 := analysis.BuildTable3(reports)
+	fmt.Println("\n== Table 3: SIRA effectiveness ==")
+	fmt.Print(t3.Render())
+}
+
+func readReports(path string) ([]core.UserReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return logging.ReadUserReports(f)
+}
+
+func readEntries(path string) ([]core.SystemEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return logging.ReadSystemEntries(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "btanalyze:", err)
+	os.Exit(1)
+}

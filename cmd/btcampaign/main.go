@@ -1,0 +1,130 @@
+// Command btcampaign runs a failure-data collection campaign on the two
+// simulated testbeds and persists the collected logs.
+//
+// The collection path mirrors the paper's infrastructure: each node's
+// LogAnalyzer daemon extracts and filters its Test/System logs and ships
+// them over TCP to a central repository; the repository contents are then
+// written to JSON-line files for later analysis with btanalyze.
+//
+// Usage:
+//
+//	btcampaign [-seed N] [-days D] [-scenario 1..4] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	btpan "repro"
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/logging"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	days := flag.Int("days", 4, "virtual campaign days")
+	scenario := flag.Int("scenario", int(btpan.ScenarioSIRAs),
+		"recovery scenario: 1=reboot only, 2=app restart+reboot, 3=SIRAs, 4=SIRAs+masking")
+	out := flag.String("out", "campaign-data", "output directory")
+	flag.Parse()
+
+	cfg := btpan.CampaignConfig{
+		Seed:     *seed,
+		Duration: sim.Time(*days) * sim.Day,
+		Scenario: btpan.Scenario(*scenario),
+	}
+	fmt.Printf("running %v campaign (scenario %q, seed %d)...\n",
+		cfg.Duration, cfg.Scenario, cfg.Seed)
+	res, err := btpan.RunCampaign(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	u, s, tot := res.DataItems()
+	fmt.Printf("collected %d user reports + %d system entries = %d items\n", u, s, tot)
+
+	// Ship everything through the real collection path: one LogAnalyzer per
+	// node, a central repository over loopback TCP.
+	repo, err := collector.NewRepository("127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	defer repo.Close()
+
+	ship := func(tb *testbed.Results) {
+		for node, reports := range tb.PerNodeReports {
+			test := logging.NewTestLog(node)
+			for _, r := range reports {
+				test.Append(r)
+			}
+			sys := logging.NewSystemLog(node)
+			for _, e := range tb.PerNodeEntries[node] {
+				sys.Append(e)
+			}
+			a := collector.NewLogAnalyzer(node, tb.Name, test, sys, repo.Addr(), collector.DefaultFilter())
+			if err := a.FlushOnce(); err != nil {
+				fatal(err)
+			}
+		}
+		// The NAP has no Test Log, only a System Log.
+		sys := logging.NewSystemLog(tb.NAPNode)
+		for _, e := range tb.PerNodeEntries[tb.NAPNode] {
+			sys.Append(e)
+		}
+		a := collector.NewLogAnalyzer(tb.NAPNode, tb.Name, logging.NewTestLog(tb.NAPNode),
+			sys, repo.Addr(), collector.DefaultFilter())
+		if err := a.FlushOnce(); err != nil {
+			fatal(err)
+		}
+	}
+	ship(res.Random)
+	ship(res.Realistic)
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	reports := repo.Reports()
+	entries := repo.Entries()
+	logging.SortUserReports(reports)
+	logging.SortSystemEntries(entries)
+
+	if err := writeReports(filepath.Join(*out, "user.jsonl"), reports); err != nil {
+		fatal(err)
+	}
+	if err := writeEntries(filepath.Join(*out, "system.jsonl"), entries); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("repository stored %d reports / %d entries -> %s/{user,system}.jsonl\n",
+		len(reports), len(entries), *out)
+
+	d := res.Dependability()
+	fmt.Printf("MTTF %.2f s, MTTR %.2f s, availability %.3f, coverage %.1f%%\n",
+		d.MTTF, d.MTTR, d.Availability, d.CoveragePct)
+}
+
+func writeReports(path string, reports []core.UserReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return logging.WriteUserReports(f, reports)
+}
+
+func writeEntries(path string, entries []core.SystemEntry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return logging.WriteSystemEntries(f, entries)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "btcampaign:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Campaign: the full collection pipeline, end to end — two 7-node testbeds
+// under their workloads, per-node LogAnalyzer daemons filtering and shipping
+// failure data over TCP to a central repository, and the merge-and-coalesce
+// analysis run over the repository's contents (exactly the paper's §3
+// infrastructure).
+package main
+
+import (
+	"fmt"
+	"time"
+
+	btpan "repro"
+	"repro/internal/analysis"
+	"repro/internal/coalesce"
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/logging"
+	"repro/internal/testbed"
+)
+
+func main() {
+	fmt.Println("1. running both testbeds for 3 virtual days...")
+	res, err := btpan.RunCampaign(btpan.CampaignConfig{
+		Seed:     11,
+		Duration: 3 * btpan.Day,
+		Scenario: btpan.ScenarioSIRAs,
+	})
+	if err != nil {
+		panic(err)
+	}
+	u, s, _ := res.DataItems()
+	fmt.Printf("   %d user reports, %d system entries on the nodes' local logs\n", u, s)
+
+	fmt.Println("2. starting the central repository (TCP)...")
+	repo, err := collector.NewRepository("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer repo.Close()
+	fmt.Printf("   listening on %s\n", repo.Addr())
+
+	fmt.Println("3. each node's LogAnalyzer extracts, filters, ships...")
+	analyzers := 0
+	for _, tb := range []*testbed.Results{res.Random, res.Realistic} {
+		for node := range tb.PerNodeEntries {
+			test := logging.NewTestLog(node)
+			for _, r := range tb.PerNodeReports[node] {
+				test.Append(r)
+			}
+			sys := logging.NewSystemLog(node)
+			for _, e := range tb.PerNodeEntries[node] {
+				sys.Append(e)
+			}
+			a := collector.NewLogAnalyzer(node, tb.Name, test, sys,
+				repo.Addr(), collector.DefaultFilter())
+			if err := a.FlushOnce(); err != nil {
+				panic(err)
+			}
+			analyzers++
+		}
+	}
+	// Wait for the asynchronous receive side to drain.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		_, entries, batches := repo.Stats()
+		if batches >= analyzers || time.Now().After(deadline) {
+			_ = entries
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	gotReports, gotEntries, batches := repo.Stats()
+	fmt.Printf("   %d daemons shipped %d batches: repository holds %d reports / %d entries\n",
+		analyzers, batches, gotReports, gotEntries)
+
+	fmt.Println("4. merge-and-coalesce over the repository data...")
+	reports := repo.Reports()
+	entries := repo.Entries()
+	events := coalesce.Merge(reports, entries)
+	curve := coalesce.Sensitivity(events, coalesce.DefaultWindows())
+	knee, _ := curve.Knee()
+	fmt.Printf("   sensitivity knee at %.0f s (paper: 330 s)\n", knee)
+
+	perNodeReports := map[string][]core.UserReport{}
+	perNodeEntries := map[string][]core.SystemEntry{}
+	for _, r := range reports {
+		key := r.Testbed + "/" + r.Node
+		perNodeReports[key] = append(perNodeReports[key], r)
+	}
+	for _, e := range entries {
+		key := e.Testbed + "/" + e.Node
+		perNodeEntries[key] = append(perNodeEntries[key], e)
+	}
+	// Present per testbed so the NAP log pairs with its own PANUs.
+	ev := coalesce.NewEvidence()
+	for _, tbName := range []string{"random", "realistic"} {
+		nr := map[string][]core.UserReport{}
+		ne := map[string][]core.SystemEntry{}
+		for k, v := range perNodeReports {
+			if len(k) > len(tbName) && k[:len(tbName)] == tbName {
+				nr[k[len(tbName)+1:]] = v
+			}
+		}
+		for k, v := range perNodeEntries {
+			if len(k) > len(tbName) && k[:len(tbName)] == tbName {
+				ne[k[len(tbName)+1:]] = v
+			}
+		}
+		analysis.BuildEvidence(ev, nr, ne, "Giallo", coalesce.PaperWindow)
+	}
+	t2 := analysis.BuildTable2(ev)
+	fmt.Printf("   HCI share of user failures: %.1f%% (paper: 49.9%%)\n",
+		t2.SourceShare(core.SrcHCI))
+	fmt.Println("\ndone — see cmd/btanalyze to run this pipeline over files on disk.")
+}

@@ -1,0 +1,33 @@
+// Masking: reproduce the paper's headline dependability claim — SIRAs plus
+// error-masking strategies improve availability by 3.64 % (up to 36.6 %)
+// and MTTF-reliability by 202 % — by running the same campaign under all
+// four recovery regimes of Table 4.
+package main
+
+import (
+	"fmt"
+
+	btpan "repro"
+)
+
+func main() {
+	const days = 6
+	fmt.Printf("running the four Table-4 scenarios, %d virtual days each...\n\n", days)
+	t4, err := btpan.Table4(7, days*btpan.Day)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(t4.Render())
+
+	vsReboot, vsAppReboot, mttfGain := t4.Improvement()
+	fmt.Println("\npaper vs measured:")
+	fmt.Printf("  availability gain vs reboot-only:     36.6%%  ->  %+.1f%%\n", vsReboot)
+	fmt.Printf("  availability gain vs app-restart:      3.64%% ->  %+.2f%%\n", vsAppReboot)
+	fmt.Printf("  MTTF (reliability) gain with masking: 202%%   ->  %+.0f%%\n", mttfGain)
+
+	masked := t4.Columns[3]
+	fmt.Printf("\nwith masking, %d failures were observed while %.1f%% of would-be\n",
+		masked.Failures, masked.MaskingPct)
+	fmt.Println("failures were suppressed before users could see them; the unmasked")
+	fmt.Printf("residue is severe, which is why MTTR rises to %.1f s (paper: 120.84 s)\n", masked.MTTR)
+}

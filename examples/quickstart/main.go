@@ -1,0 +1,52 @@
+// Quickstart: run a short failure-data campaign on the simulated Bluetooth
+// PAN testbeds and print what failed, how often, and how dependable the
+// piconet was.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	btpan "repro"
+	"repro/internal/core"
+)
+
+func main() {
+	res, err := btpan.RunCampaign(btpan.CampaignConfig{
+		Seed:     42,
+		Duration: 2 * btpan.Day,
+		Scenario: btpan.ScenarioSIRAs,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	users, system, total := res.DataItems()
+	fmt.Printf("2 virtual days, 2 testbeds (random + realistic workloads), 7 nodes each\n")
+	fmt.Printf("failure data items: %d user-level + %d system-level = %d\n\n", users, system, total)
+
+	counts := map[core.UserFailure]int{}
+	for _, r := range res.AllReports() {
+		if !r.Masked {
+			counts[r.Failure]++
+		}
+	}
+	type row struct {
+		f core.UserFailure
+		n int
+	}
+	var rows []row
+	for f, n := range counts {
+		rows = append(rows, row{f, n})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	fmt.Println("user-level failures by type:")
+	for _, r := range rows {
+		fmt.Printf("  %-26s %4d\n", r.f, r.n)
+	}
+
+	d := res.Dependability()
+	fmt.Printf("\nMTTF %.1f s   MTTR %.1f s   availability %.3f   coverage %.1f%%\n",
+		d.MTTF, d.MTTR, d.Availability, d.CoveragePct)
+	fmt.Println("\n(see cmd/btrepro for the full paper reproduction)")
+}

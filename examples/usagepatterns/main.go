@@ -1,0 +1,53 @@
+// Usagepatterns: extract the paper's §6 guidance for writing robust
+// Bluetooth PAN applications from a fresh campaign — which baseband packet
+// types to prefer (Figure 3a), why young connections fail more (Figure 3b),
+// and which application patterns stress the channel (Figure 3c).
+package main
+
+import (
+	"fmt"
+
+	btpan "repro"
+	"repro/internal/analysis"
+)
+
+func main() {
+	res, err := btpan.RunCampaign(btpan.CampaignConfig{
+		Seed:     3,
+		Duration: 4 * btpan.Day,
+		Scenario: btpan.ScenarioSIRAs,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Print(analysis.RenderBars(
+		"Figure 3a -- packet losses per byte by packet type (random workload)",
+		res.Fig3a(), 40))
+	fmt.Println("lesson: prefer multi-slot packets, and DHx over DMx — strict error")
+	fmt.Println("control means more retransmissions, hence more flush-limit drops.")
+	fmt.Println()
+
+	fixed, err := btpan.RunFixedExperiment(btpan.FixedExperimentConfig{
+		Seed: 3, Duration: 10 * btpan.Day,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(analysis.RenderBars(
+		"Figure 3b -- losses by packets sent before the loss (fixed workload)",
+		btpan.Fig3b(fixed, 1000, 10), 40))
+	fmt.Println("lesson: connections fail young (latent setup defects); keep an")
+	fmt.Println("already-open connection up instead of cycling connect/disconnect.")
+	fmt.Println()
+
+	fmt.Print(analysis.RenderBars(
+		"Figure 3c -- losses by application (realistic workload)",
+		res.Fig3c(), 40))
+	fmt.Println("lesson: long continuous transfers (P2P, streaming) overload the")
+	fmt.Println("channel; intermittent use (Web, mail, FTP) is far gentler on BT PANs.")
+
+	s := res.Scalars()
+	fmt.Printf("\nidle connections are safe: mean idle before failed cycles %.1f s vs %.1f s before clean ones\n",
+		s.IdleBeforeFailedMean, s.IdleBeforeCleanMean)
+}

@@ -1,0 +1,192 @@
+package btpan
+
+// End-to-end integration: campaign -> JSONL persistence -> read-back ->
+// identical analysis results (the cmd/btcampaign + cmd/btanalyze path), and
+// campaign -> TCP collection -> repository -> analysis (the paper's
+// distributed pipeline).
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/coalesce"
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/logging"
+)
+
+// TestPersistenceRoundTripPreservesAnalysis writes a campaign's records to
+// the JSONL wire format, reads them back, and checks the error-failure
+// evidence is bit-identical.
+func TestPersistenceRoundTripPreservesAnalysis(t *testing.T) {
+	res := testCampaign(t)
+
+	var userBuf, sysBuf bytes.Buffer
+	allReports := res.AllReports()
+	var allEntries []core.SystemEntry
+	allEntries = append(allEntries, res.Random.Entries...)
+	allEntries = append(allEntries, res.Realistic.Entries...)
+	if err := logging.WriteUserReports(&userBuf, allReports); err != nil {
+		t.Fatal(err)
+	}
+	if err := logging.WriteSystemEntries(&sysBuf, allEntries); err != nil {
+		t.Fatal(err)
+	}
+
+	gotReports, err := logging.ReadUserReports(&userBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEntries, err := logging.ReadSystemEntries(&sysBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotReports) != len(allReports) || len(gotEntries) != len(allEntries) {
+		t.Fatalf("round trip lost records: %d/%d reports, %d/%d entries",
+			len(gotReports), len(allReports), len(gotEntries), len(allEntries))
+	}
+	for i := range allReports {
+		if gotReports[i] != allReports[i] {
+			t.Fatalf("report %d mutated in round trip", i)
+		}
+	}
+
+	// Rebuild the evidence from the read-back data, split per testbed/node
+	// as btanalyze does, and compare with the live pipeline.
+	rebuild := func(reports []core.UserReport, entries []core.SystemEntry) *coalesce.Evidence {
+		perR := map[string]map[string][]core.UserReport{}
+		for _, r := range reports {
+			if perR[r.Testbed] == nil {
+				perR[r.Testbed] = map[string][]core.UserReport{}
+			}
+			perR[r.Testbed][r.Node] = append(perR[r.Testbed][r.Node], r)
+		}
+		perE := map[string]map[string][]core.SystemEntry{}
+		for _, e := range entries {
+			if perE[e.Testbed] == nil {
+				perE[e.Testbed] = map[string][]core.SystemEntry{}
+			}
+			perE[e.Testbed][e.Node] = append(perE[e.Testbed][e.Node], e)
+		}
+		ev := coalesce.NewEvidence()
+		for tb := range perR {
+			analysis.BuildEvidence(ev, perR[tb], perE[tb], "Giallo", coalesce.PaperWindow)
+		}
+		return ev
+	}
+	live := res.Evidence(coalesce.PaperWindow)
+	fromDisk := rebuild(gotReports, gotEntries)
+
+	if live.TotalFailures != fromDisk.TotalFailures {
+		t.Fatalf("failures diverged: live %d vs disk %d", live.TotalFailures, fromDisk.TotalFailures)
+	}
+	if len(live.Counts) != len(fromDisk.Counts) {
+		t.Fatalf("evidence cells diverged: %d vs %d", len(live.Counts), len(fromDisk.Counts))
+	}
+	for k, v := range live.Counts {
+		if fromDisk.Counts[k] != v {
+			t.Fatalf("cell %+v diverged: %d vs %d", k, v, fromDisk.Counts[k])
+		}
+	}
+}
+
+// TestTCPCollectionPipeline ships a campaign through per-node LogAnalyzers
+// to a repository over loopback TCP and checks nothing significant is lost.
+func TestTCPCollectionPipeline(t *testing.T) {
+	res := testCampaign(t)
+	repo, err := collector.NewRepository("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+
+	analyzers := 0
+	wantReports := 0
+	ship := func(name string, perNodeReports map[string][]core.UserReport,
+		perNodeEntries map[string][]core.SystemEntry) {
+		for node := range perNodeEntries {
+			test := logging.NewTestLog(node)
+			for _, r := range perNodeReports[node] {
+				test.Append(r)
+				wantReports++
+			}
+			sys := logging.NewSystemLog(node)
+			for _, e := range perNodeEntries[node] {
+				sys.Append(e)
+			}
+			a := collector.NewLogAnalyzer(node, name, test, sys, repo.Addr(),
+				collector.Filter{}) // no dedup: exact counts
+			if err := a.FlushOnce(); err != nil {
+				t.Fatal(err)
+			}
+			analyzers++
+		}
+	}
+	ship("random", res.Random.PerNodeReports, res.Random.PerNodeEntries)
+	ship("realistic", res.Realistic.PerNodeReports, res.Realistic.PerNodeEntries)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		gotReports, _, batches := repo.Stats()
+		if batches >= analyzers && gotReports == wantReports {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("repository drained %d reports / %d batches, want %d/%d",
+				gotReports, batches, wantReports, analyzers)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	_, sysEntries, _ := res.DataItems()
+	_, gotEntries, _ := repo.Stats()
+	if gotEntries != sysEntries {
+		t.Errorf("system entries: shipped %d, repository has %d", sysEntries, gotEntries)
+	}
+}
+
+// TestTable4ColumnsOrdered checks the Table 4 assembly keeps the paper's
+// column order (reboot-only first, masking last).
+func TestTable4ColumnsOrdered(t *testing.T) {
+	t4, err := Table4(3, 18*Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4.Columns) != 4 {
+		t.Fatalf("%d columns", len(t4.Columns))
+	}
+	want := []string{"Only Reboot", "App restart and Reboot", "With only SIRAs", "SIRAs and masking"}
+	for i, c := range t4.Columns {
+		if c.Scenario != want[i] {
+			t.Errorf("column %d = %q, want %q", i, c.Scenario, want[i])
+		}
+	}
+	// The structural claims that must hold at any seed: manual reboot
+	// recovery is the slowest; masking has the highest MTTF.
+	if !(t4.Columns[0].MTTR > t4.Columns[2].MTTR) {
+		t.Errorf("reboot-only MTTR (%v) should exceed SIRAs MTTR (%v)",
+			t4.Columns[0].MTTR, t4.Columns[2].MTTR)
+	}
+	if !(t4.Columns[3].MTTF > t4.Columns[2].MTTF) {
+		t.Errorf("masking MTTF (%v) should exceed SIRAs MTTF (%v)",
+			t4.Columns[3].MTTF, t4.Columns[2].MTTF)
+	}
+}
+
+// TestRedundantPiconetsExtension checks the paper's future-work proposal
+// yields a strictly better deployment.
+func TestRedundantPiconetsExtension(t *testing.T) {
+	dep, err := RedundantPiconets(7, 18*Hour, 2*Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Availability() <= dep.A.Availability {
+		t.Errorf("redundant availability %v should beat single %v",
+			dep.Availability(), dep.A.Availability)
+	}
+	if dep.MTBSF() <= dep.A.MTTF {
+		t.Errorf("MTBSF %v should exceed single-piconet MTTF %v",
+			dep.MTBSF(), dep.A.MTTF)
+	}
+}

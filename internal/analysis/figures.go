@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Bar is one bar of a text-mode figure.
+type Bar struct {
+	Label string
+	Share float64 // percent
+}
+
+// RenderBars draws a labelled horizontal bar chart.
+func RenderBars(title string, bars []Bar, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxShare := 0.0
+	for _, bar := range bars {
+		if bar.Share > maxShare {
+			maxShare = bar.Share
+		}
+	}
+	for _, bar := range bars {
+		n := 0
+		if maxShare > 0 {
+			n = int(bar.Share / maxShare * float64(width))
+		}
+		fmt.Fprintf(&b, "  %-12s %6.2f%% %s\n", bar.Label, bar.Share, strings.Repeat("#", n))
+	}
+	return b.String()
+}
+
+// Fig3aPacketType computes the packet-loss distribution by baseband packet
+// type from random-workload counters, normalised per byte offered so that
+// usage imbalance from the binomial type draw does not mask the per-type
+// failure proneness (the paper's "prefer multi-slot, prefer DHx" finding).
+func Fig3aPacketType(counters map[string]*workload.Counters) []Bar {
+	rates := make([]float64, 0, 6)
+	types := core.PacketTypes()
+	for _, pt := range types {
+		var losses, packets int64
+		for _, c := range counters {
+			losses += c.LossesByType[pt]
+			packets += c.PacketsByType[pt]
+		}
+		if packets > 0 {
+			// Losses per byte offered in this type.
+			rates = append(rates, float64(losses)/float64(packets*int64(pt.Payload())))
+		} else {
+			rates = append(rates, 0)
+		}
+	}
+	shares := stats.Normalize(rates)
+	bars := make([]Bar, len(types))
+	for i, pt := range types {
+		bars[i] = Bar{Label: pt.String(), Share: shares[i]}
+	}
+	return bars
+}
+
+// Fig3bConnectionAge histograms packet-loss failures by the number of
+// packets sent on the connection before the loss (the fixed workload's
+// infant-mortality curve). Bins of binWidth packets, nbins bins.
+func Fig3bConnectionAge(reports []core.UserReport, binWidth, nbins int) []Bar {
+	h := stats.NewHistogram(0, float64(binWidth*nbins), nbins)
+	for _, r := range reports {
+		if r.Masked || r.Failure != core.UFPacketLoss {
+			continue
+		}
+		h.Add(float64(r.SentPkts))
+	}
+	shares := h.Shares()
+	bars := make([]Bar, nbins)
+	for i := range bars {
+		bars[i] = Bar{Label: h.BinLabel(i), Share: shares[i]}
+	}
+	return bars
+}
+
+// Fig3cApplications computes the packet-loss share by emulated application
+// from realistic-workload reports.
+func Fig3cApplications(reports []core.UserReport) []Bar {
+	counts := make(map[core.AppKind]float64)
+	for _, r := range reports {
+		if r.Masked || r.Failure != core.UFPacketLoss || r.App == core.AppNone {
+			continue
+		}
+		counts[r.App]++
+	}
+	apps := core.Apps()
+	raw := make([]float64, len(apps))
+	for i, a := range apps {
+		raw[i] = counts[a]
+	}
+	shares := stats.Normalize(raw)
+	bars := make([]Bar, len(apps))
+	for i, a := range apps {
+		bars[i] = Bar{Label: a.String(), Share: shares[i]}
+	}
+	return bars
+}
+
+// Fig4Row is one host's failure-type distribution.
+type Fig4Row struct {
+	Node   string
+	Shares map[core.UserFailure]float64 // percent of the host's failures
+	Total  int
+}
+
+// Fig4PerHost computes the per-host user-failure distribution (realistic
+// workload, no masking — matching the paper's Figure 4 conditions).
+func Fig4PerHost(reports []core.UserReport) []Fig4Row {
+	perNode := make(map[string]map[core.UserFailure]int)
+	for _, r := range reports {
+		if r.Masked {
+			continue
+		}
+		if perNode[r.Node] == nil {
+			perNode[r.Node] = make(map[core.UserFailure]int)
+		}
+		perNode[r.Node][r.Failure]++
+	}
+	nodes := make([]string, 0, len(perNode))
+	for n := range perNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	rows := make([]Fig4Row, 0, len(nodes))
+	for _, n := range nodes {
+		total := 0
+		for _, c := range perNode[n] {
+			total += c
+		}
+		shares := make(map[core.UserFailure]float64, len(perNode[n]))
+		for f, c := range perNode[n] {
+			shares[f] = float64(c) / float64(total) * 100
+		}
+		rows = append(rows, Fig4Row{Node: n, Shares: shares, Total: total})
+	}
+	return rows
+}
+
+// RenderFig4 formats the per-host distribution.
+func RenderFig4(rows []Fig4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "Host")
+	for _, f := range core.UserFailures() {
+		fmt.Fprintf(&b, "%24s", f)
+	}
+	b.WriteString("\n")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-10s", row.Node)
+		for _, f := range core.UserFailures() {
+			fmt.Fprintf(&b, "%23.1f%%", row.Shares[f])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Scalars are the §6 auxiliary findings.
+type Scalars struct {
+	// RandomSharePct is the share of failures from the random workload
+	// (paper: 84 %).
+	RandomSharePct float64
+	// IdleBeforeFailedMean / IdleBeforeCleanMean compare T_W before failed
+	// and failure-free cycles (paper: 27.3 s vs 26.9 s — idle connections
+	// do not fail more).
+	IdleBeforeFailedMean float64
+	IdleBeforeCleanMean  float64
+	// DistanceShares is the failure share per antenna distance, excluding
+	// bind failures (which would bias it, manifesting on two hosts only).
+	DistanceShares map[float64]float64
+	// UserReports / SystemEntries are the dataset sizes.
+	UserReports   int
+	SystemEntries int
+}
+
+// BuildScalars computes the §6 scalars from both testbeds' data.
+func BuildScalars(randomReports, realisticReports []core.UserReport,
+	counters map[string]*workload.Counters, systemEntries int) *Scalars {
+	s := &Scalars{DistanceShares: make(map[float64]float64)}
+
+	nRandom, nRealistic := 0, 0
+	for _, r := range randomReports {
+		if !r.Masked {
+			nRandom++
+		}
+	}
+	for _, r := range realisticReports {
+		if !r.Masked {
+			nRealistic++
+		}
+	}
+	if nRandom+nRealistic > 0 {
+		s.RandomSharePct = float64(nRandom) / float64(nRandom+nRealistic) * 100
+	}
+	s.UserReports = nRandom + nRealistic
+	s.SystemEntries = systemEntries
+
+	var failed, clean stats.Summary
+	for _, c := range counters {
+		failed.Merge(c.IdleBeforeFailed)
+		clean.Merge(c.IdleBeforeClean)
+	}
+	s.IdleBeforeFailedMean = failed.Mean()
+	s.IdleBeforeCleanMean = clean.Mean()
+
+	// Distance split from the realistic testbed, bind failures excluded.
+	distCount := make(map[float64]int)
+	total := 0
+	for _, r := range realisticReports {
+		if r.Masked || r.Failure == core.UFBindFailed {
+			continue
+		}
+		distCount[r.DistanceM]++
+		total++
+	}
+	for d, c := range distCount {
+		if total > 0 {
+			s.DistanceShares[d] = float64(c) / float64(total) * 100
+		}
+	}
+	return s
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func dep(avail, mttf float64) *Dependability {
+	// Derive MTTR from the availability identity A = MTTF/(MTTF+MTTR).
+	mttr := mttf * (1 - avail) / avail
+	return &Dependability{Availability: avail, MTTF: mttf, MTTR: mttr}
+}
+
+func TestRedundantAvailability(t *testing.T) {
+	r := &RedundantDeployment{A: dep(0.9, 900), B: dep(0.9, 900)}
+	// Both down: 0.1*0.1 = 0.01 -> availability 0.99 (no failover cost).
+	if got := r.Availability(); math.Abs(got-0.99) > 1e-9 {
+		t.Errorf("availability = %v, want 0.99", got)
+	}
+	// Failover cost reduces it further.
+	r.FailoverSeconds = 10
+	withFailover := r.Availability()
+	if withFailover >= 0.99 {
+		t.Errorf("failover cost should reduce availability: %v", withFailover)
+	}
+	// Loss term: 10s per MTTF+MTTR cycle (1000s) = 1%.
+	if math.Abs(withFailover-(0.99-0.01)) > 1e-9 {
+		t.Errorf("failover-adjusted availability = %v, want 0.98", withFailover)
+	}
+}
+
+func TestRedundantBeatsBestSingle(t *testing.T) {
+	r := &RedundantDeployment{A: dep(0.93, 1700), B: dep(0.92, 1600), FailoverSeconds: 2}
+	if r.Availability() <= r.A.Availability {
+		t.Errorf("redundant %v should beat single %v", r.Availability(), r.A.Availability)
+	}
+	if r.Improvement() <= 0 {
+		t.Errorf("improvement = %v", r.Improvement())
+	}
+}
+
+func TestRedundantMTBSF(t *testing.T) {
+	r := &RedundantDeployment{A: dep(0.9, 900), B: dep(0.9, 900)}
+	// Each piconet's unavailability is 0.1; simultaneous-failure rate =
+	// 2 * 0.1/900; MTBSF = 4500 s.
+	if got := r.MTBSF(); math.Abs(got-4500) > 1 {
+		t.Errorf("MTBSF = %v, want 4500", got)
+	}
+	// MTBSF must far exceed the single-piconet MTTF.
+	if r.MTBSF() <= r.A.MTTF {
+		t.Error("redundancy should stretch the time between system failures")
+	}
+}
+
+func TestRedundantDegenerate(t *testing.T) {
+	r := &RedundantDeployment{}
+	if r.Availability() != 0 || r.MTBSF() != 0 {
+		t.Error("nil deps should report zeros")
+	}
+	r = &RedundantDeployment{A: dep(0.5, 100), B: dep(0.5, 100), FailoverSeconds: 1e9}
+	if got := r.Availability(); got != 0 {
+		t.Errorf("absurd failover cost should clamp to 0, got %v", got)
+	}
+}
+
+func TestRedundantRender(t *testing.T) {
+	r := &RedundantDeployment{A: dep(0.93, 1700), B: dep(0.92, 1600), FailoverSeconds: 2}
+	out := r.Render()
+	for _, want := range []string{"piconet A", "piconet B", "redundant 1-of-2", "MTBSF"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Table3 is the user-failure → SIRA effectiveness table: the percentage of
+// occurrences of each failure cleared by each recovery action.
+type Table3 struct {
+	// Rows maps failure → per-action success share (%), indexed by
+	// RecoveryAction ordinal - 1.
+	Rows map[core.UserFailure][core.NumRecoveryActions]float64
+	// Counts is the per-failure denominator (recovered occurrences).
+	Counts map[core.UserFailure]int
+	// TotalRow aggregates all failures.
+	TotalRow [core.NumRecoveryActions]float64
+}
+
+// BuildTable3 computes the effectiveness matrix from (unmasked, recovered)
+// failure reports produced under the SIRA cascade.
+func BuildTable3(reports []core.UserReport) *Table3 {
+	t := &Table3{
+		Rows:   make(map[core.UserFailure][core.NumRecoveryActions]float64),
+		Counts: make(map[core.UserFailure]int),
+	}
+	counts := make(map[core.UserFailure][core.NumRecoveryActions]int)
+	var totals [core.NumRecoveryActions]int
+	grand := 0
+	for _, r := range reports {
+		if r.Masked || !r.Recovered || !r.Recovery.Valid() {
+			continue
+		}
+		row := counts[r.Failure]
+		row[int(r.Recovery)-1]++
+		counts[r.Failure] = row
+		totals[int(r.Recovery)-1]++
+		t.Counts[r.Failure]++
+		grand++
+	}
+	for f, row := range counts {
+		var pct [core.NumRecoveryActions]float64
+		if n := t.Counts[f]; n > 0 {
+			for i, c := range row {
+				pct[i] = float64(c) / float64(n) * 100
+			}
+		}
+		t.Rows[f] = pct
+	}
+	if grand > 0 {
+		for i, c := range totals {
+			t.TotalRow[i] = float64(c) / float64(grand) * 100
+		}
+	}
+	return t
+}
+
+// Share reports the success share of one action for one failure.
+func (t *Table3) Share(f core.UserFailure, a core.RecoveryAction) float64 {
+	if !a.Valid() {
+		return 0
+	}
+	return t.Rows[f][int(a)-1]
+}
+
+// ExpensiveShare reports the share of a failure's recoveries that needed
+// application restart or worse (the paper's severity argument for
+// "Connect failed": 84.6 %).
+func (t *Table3) ExpensiveShare(f core.UserFailure) float64 {
+	row := t.Rows[f]
+	sum := 0.0
+	for a := core.RAAppRestart; a <= core.RAMultiSystemReboot; a++ {
+		sum += row[int(a)-1]
+	}
+	return sum
+}
+
+// MeanSeverity reports the mean severity (ordinal of the clearing SIRA)
+// for a failure type.
+func (t *Table3) MeanSeverity(f core.UserFailure) float64 {
+	row := t.Rows[f]
+	mean := 0.0
+	for i, pct := range row {
+		mean += float64(i+1) * pct / 100
+	}
+	return mean
+}
+
+// Render formats the table in the paper's layout.
+func (t *Table3) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s", "User Level Failure")
+	for _, a := range core.RecoveryActions() {
+		fmt.Fprintf(&b, "%22s", a)
+	}
+	b.WriteString("\n")
+	for _, f := range core.UserFailures() {
+		if f == core.UFDataMismatch {
+			fmt.Fprintf(&b, "%-26s%s\n", f, "  (no recovery defined)")
+			continue
+		}
+		fmt.Fprintf(&b, "%-26s", f)
+		row := t.Rows[f]
+		for i := range core.RecoveryActions() {
+			fmt.Fprintf(&b, "%22.1f", row[i])
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-26s", "Total")
+	for i := range core.RecoveryActions() {
+		fmt.Fprintf(&b, "%22.1f", t.TotalRow[i])
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,217 @@
+package baseband
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// ARQConfig parameterises the baseband retransmission scheme.
+type ARQConfig struct {
+	// FlushLimit is the maximum number of transmission attempts per payload;
+	// when exhausted, the current payload is dropped and the next one is
+	// considered — the paper's explanation for packet-loss failures.
+	FlushLimit int
+
+	// CRCEscape is the probability that a corrupted payload slips past the
+	// CRC-16 (a "data mismatch"). Under correlated burst errors the residual
+	// error rate is far above the 2^-16 memoryless bound (Paulitsch et al.,
+	// DSN 2005), which is why the paper sees data corruption at all.
+	CRCEscape float64
+
+	// BurstContinue is the intra-burst bit-error clustering density; it must
+	// match radio.CodewordErrors' continuation probability (0.3) for the
+	// analytic fast path to agree with the bit-level model.
+	BurstContinue float64
+}
+
+// DefaultARQConfig returns the calibrated retransmission parameters.
+func DefaultARQConfig() ARQConfig {
+	return ARQConfig{
+		FlushLimit:    16,
+		CRCEscape:     2e-5,
+		BurstContinue: 0.3,
+	}
+}
+
+// Validate reports configuration errors.
+func (c ARQConfig) Validate() error {
+	switch {
+	case c.FlushLimit < 1:
+		return fmt.Errorf("baseband: flush limit %d < 1", c.FlushLimit)
+	case c.CRCEscape < 0 || c.CRCEscape > 1:
+		return fmt.Errorf("baseband: CRC escape %v out of range", c.CRCEscape)
+	case c.BurstContinue < 0 || c.BurstContinue >= 1:
+		return fmt.Errorf("baseband: burst continuation %v out of range", c.BurstContinue)
+	default:
+		return nil
+	}
+}
+
+// Outcome describes the fate of one payload submitted to the ARQ.
+type Outcome int
+
+// Payload fates.
+const (
+	// Delivered: payload arrived intact (possibly after retransmissions).
+	Delivered Outcome = iota
+	// Dropped: the flush limit was exhausted; the payload was discarded
+	// (surfaces as a "Packet loss" user failure after the 30 s timeout).
+	Dropped
+	// Corrupted: the payload was accepted by the receiver but its content
+	// is wrong (CRC escape; surfaces as "Data mismatch").
+	Corrupted
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Delivered:
+		return "delivered"
+	case Dropped:
+		return "dropped"
+	case Corrupted:
+		return "corrupted"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// TxResult reports the transmission of one payload.
+type TxResult struct {
+	Outcome  Outcome
+	Attempts int      // transmission attempts made (1 = first try succeeded)
+	Slots    int64    // total slots consumed, including return slots
+	Elapsed  sim.Time // Slots expressed as time
+}
+
+// Transmitter runs the ACL ARQ over a radio link. It is the data plane of
+// one piconet direction; the workload calls Send once per BlueTest packet.
+type Transmitter struct {
+	cfg  ARQConfig
+	link *radio.Link
+	rng  *rand.Rand
+	slot int64 // next free slot on the shared piconet clock
+}
+
+// NewTransmitter builds a transmitter over link. Invalid configs panic
+// (constructed once at testbed build time).
+func NewTransmitter(cfg ARQConfig, link *radio.Link, rng *rand.Rand) *Transmitter {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Transmitter{cfg: cfg, link: link, rng: rng}
+}
+
+// Slot reports the next free piconet slot.
+func (t *Transmitter) Slot() int64 { return t.slot }
+
+// AdvanceTo moves the piconet clock forward (e.g. across idle periods).
+// Moving backwards panics: slots are a shared monotone resource.
+func (t *Transmitter) AdvanceTo(slot int64) {
+	if slot < t.slot {
+		panic(fmt.Sprintf("baseband: AdvanceTo %d before current slot %d", slot, t.slot))
+	}
+	t.slot = slot
+}
+
+// chunkFailProb computes the probability that the bits of one slot's share
+// of the payload are not recovered, given the slot BER. For FEC-coded (DMx)
+// packets a codeword survives zero errors or exactly one (corrected); under
+// the clustered-error model, P(>=2 | >=1) = BurstContinue. For uncoded (DHx)
+// packets any bit error corrupts the payload.
+func (t *Transmitter) chunkFailProb(pt core.PacketType, bitsInSlot int, ber float64) float64 {
+	if bitsInSlot <= 0 {
+		return 0
+	}
+	pAny := 1 - powOneMinus(ber, bitsInSlot)
+	if !pt.FEC() {
+		return pAny
+	}
+	// Codewords of 15 bits; a codeword fails when a burst continues past
+	// the first errored bit.
+	ncw := (bitsInSlot + 14) / 15
+	pAnyCW := 1 - powOneMinus(ber, 15)
+	pCWFail := pAnyCW * t.cfg.BurstContinue
+	_ = pAny
+	return 1 - powOneMinus(pCWFail, ncw)
+}
+
+// Send transmits one payload of payloadLen bytes as a packet of type pt,
+// retransmitting on integrity failure up to the flush limit. Slots advance
+// on the shared piconet clock; each attempt consumes the packet's slots plus
+// one return slot for the ACK/NAK (the baseband's alternating TDD).
+func (t *Transmitter) Send(pt core.PacketType, payloadLen int) TxResult {
+	if payloadLen < 0 || payloadLen > pt.Payload() {
+		panic(fmt.Sprintf("baseband: payload %dB out of range for %v", payloadLen, pt))
+	}
+	airBits := AirBits(pt, payloadLen)
+	slots := pt.Slots()
+	bitsPerSlot := (airBits + slots - 1) / slots
+
+	start := t.slot
+	attempts := 0
+	for {
+		attempts++
+		corrupt := false
+		for s := 0; s < slots; s++ {
+			ber := t.link.SlotBER(t.slot)
+			t.slot++
+			bits := bitsPerSlot
+			if rem := airBits - s*bitsPerSlot; rem < bits {
+				bits = rem
+			}
+			if stats(t.rng, t.chunkFailProb(pt, bits, ber)) {
+				corrupt = true
+			}
+		}
+		t.slot++ // return slot carrying ACK/NAK
+
+		if !corrupt {
+			used := t.slot - start
+			return TxResult{Outcome: Delivered, Attempts: attempts,
+				Slots: used, Elapsed: sim.Time(used) * sim.Slot}
+		}
+		// Corrupted attempt: tiny chance the CRC fails to notice and the
+		// receiver ACKs garbage.
+		if stats(t.rng, t.cfg.CRCEscape) {
+			used := t.slot - start
+			return TxResult{Outcome: Corrupted, Attempts: attempts,
+				Slots: used, Elapsed: sim.Time(used) * sim.Slot}
+		}
+		if attempts >= t.cfg.FlushLimit {
+			used := t.slot - start
+			return TxResult{Outcome: Dropped, Attempts: attempts,
+				Slots: used, Elapsed: sim.Time(used) * sim.Slot}
+		}
+	}
+}
+
+// stats draws a Bernoulli without importing internal/stats (avoids a cycle-
+// prone dependency for one function).
+func stats(rng *rand.Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return rng.Float64() < p
+}
+
+// powOneMinus computes (1-p)^n by squaring.
+func powOneMinus(p float64, n int) float64 {
+	out := 1.0
+	base := 1 - p
+	for n > 0 {
+		if n&1 == 1 {
+			out *= base
+		}
+		base *= base
+		n >>= 1
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package baseband
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Header is the 18-bit baseband packet header (10 bits of fields plus the
+// 8-bit HEC), transmitted with 1/3-rate repetition coding on air.
+type Header struct {
+	LTAddr uint8 // 3-bit logical transport address of the active slave
+	Type   uint8 // 4-bit packet type code
+	Flow   bool  // flow control
+	ARQN   bool  // acknowledgement of the previous packet
+	SEQN   bool  // 1-bit sequence number for duplicate filtering
+}
+
+// typeCode maps the taxonomy packet types onto the 4-bit on-air type codes
+// of the Bluetooth 1.1 baseband (ACL logical transport).
+var typeCode = map[core.PacketType]uint8{
+	core.PTDM1: 0x3,
+	core.PTDH1: 0x4,
+	core.PTDM3: 0xA,
+	core.PTDH3: 0xB,
+	core.PTDM5: 0xE,
+	core.PTDH5: 0xF,
+}
+
+// TypeCode returns the 4-bit on-air code for a packet type.
+func TypeCode(p core.PacketType) (uint8, error) {
+	c, ok := typeCode[p]
+	if !ok {
+		return 0, fmt.Errorf("baseband: no type code for %v", p)
+	}
+	return c, nil
+}
+
+// PacketTypeFromCode inverts TypeCode.
+func PacketTypeFromCode(c uint8) (core.PacketType, error) {
+	for p, code := range typeCode {
+		if code == c {
+			return p, nil
+		}
+	}
+	return core.PTUnknown, fmt.Errorf("baseband: unknown type code %#x", c)
+}
+
+// pack10 folds the header fields into the 10-bit value covered by the HEC.
+func (h Header) pack10() uint16 {
+	v := uint16(h.LTAddr&0x7) << 7
+	v |= uint16(h.Type&0xF) << 3
+	if h.Flow {
+		v |= 1 << 2
+	}
+	if h.ARQN {
+		v |= 1 << 1
+	}
+	if h.SEQN {
+		v |= 1
+	}
+	return v
+}
+
+// Encode renders the 18-bit header (fields + HEC) as a uint32.
+func (h Header) Encode(uap uint8) uint32 {
+	v := h.pack10()
+	return uint32(v)<<8 | uint32(HEC8(uap, v))
+}
+
+// DecodeHeader parses an 18-bit header value and verifies its HEC.
+func DecodeHeader(bits uint32, uap uint8) (Header, error) {
+	v := uint16(bits>>8) & 0x3FF
+	hec := uint8(bits & 0xFF)
+	if HEC8(uap, v) != hec {
+		return Header{}, fmt.Errorf("baseband: HEC mismatch")
+	}
+	return Header{
+		LTAddr: uint8(v >> 7 & 0x7),
+		Type:   uint8(v >> 3 & 0xF),
+		Flow:   v&(1<<2) != 0,
+		ARQN:   v&(1<<1) != 0,
+		SEQN:   v&1 != 0,
+	}, nil
+}
+
+// Packet is an on-air ACL data packet: 72-bit channel access code (derived
+// from the master's address), header, and a payload with CRC-16 (and, for
+// DMx types, 2/3-rate FEC applied on air).
+type Packet struct {
+	AccessCode uint64 // 64-bit sync word (the 72-bit code minus preamble/trailer)
+	Header     Header
+	Type       core.PacketType
+	Payload    []byte // user payload, at most Type.Payload() bytes
+}
+
+// Build assembles a packet for a payload, checking the length budget.
+func Build(access uint64, lt uint8, pt core.PacketType, seqn bool, payload []byte) (Packet, error) {
+	code, err := TypeCode(pt)
+	if err != nil {
+		return Packet{}, err
+	}
+	if len(payload) > pt.Payload() {
+		return Packet{}, fmt.Errorf("baseband: payload %dB exceeds %v budget %dB",
+			len(payload), pt, pt.Payload())
+	}
+	return Packet{
+		AccessCode: access,
+		Header:     Header{LTAddr: lt, Type: code, SEQN: seqn},
+		Type:       pt,
+		Payload:    payload,
+	}, nil
+}
+
+// Marshal serialises payload + CRC, applying FEC for DMx types. The result
+// is the on-air payload bit stream (packed LSB-first) and its bit length.
+func (p Packet) Marshal(uap uint8) (air []byte, nbits int) {
+	crc := CRC16(uint16(uap)<<8, p.Payload)
+	body := make([]byte, 0, len(p.Payload)+2)
+	body = append(body, p.Payload...)
+	body = append(body, byte(crc>>8), byte(crc))
+	if p.Type.FEC() {
+		return FECEncode(body)
+	}
+	out := make([]byte, len(body))
+	copy(out, body)
+	return out, len(body) * 8
+}
+
+// Unmarshal reverses Marshal: undoes FEC (correcting single-bit errors per
+// codeword), then verifies the CRC. It returns the payload, whether the CRC
+// verified, and FEC bookkeeping for diagnostics.
+func Unmarshal(pt core.PacketType, uap uint8, air []byte, nbits, payloadLen int) (payload []byte, crcOK bool, correctedCW, failedCW int) {
+	var body []byte
+	if pt.FEC() {
+		body, correctedCW, failedCW = FECDecode(air, nbits, payloadLen+2)
+	} else {
+		body = make([]byte, payloadLen+2)
+		copy(body, air)
+	}
+	payload = body[:payloadLen]
+	wire := uint16(body[payloadLen])<<8 | uint16(body[payloadLen+1])
+	crcOK = CRC16(uint16(uap)<<8, payload) == wire
+	return payload, crcOK, correctedCW, failedCW
+}
+
+// AirBits reports the number of on-air payload bits for a packet of
+// payloadLen user bytes of the given type (payload + CRC, FEC-expanded for
+// DMx). It drives the per-slot exposure computation in the ARQ model.
+func AirBits(pt core.PacketType, payloadLen int) int {
+	bits := (payloadLen + 2) * 8
+	if pt.FEC() {
+		ncw := (bits + 9) / 10
+		return ncw * 15
+	}
+	return bits
+}

@@ -1,0 +1,259 @@
+// Package bnep implements the Bluetooth Network Encapsulation Protocol: the
+// Ethernet emulation over L2CAP that the PAN profile uses to carry IP, and
+// the bnep0 virtual network interface whose creation/configuration race is
+// behind the paper's "Bind failed" user failures.
+//
+// Table 1 failure modes carried here: "Failed to add a connection", "can't
+// locate module bnep0", "bnep occupied".
+package bnep
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/hci"
+	"repro/internal/l2cap"
+	"repro/internal/sim"
+)
+
+// MTU is the BNEP maximum transfer unit (the paper fixes L_S = L_R to this
+// value, 1691 bytes, in the Figure 3b experiment).
+const MTU = 1691
+
+// Packet types of the BNEP header.
+const (
+	TypeGeneralEthernet    uint8 = 0x00
+	TypeControl            uint8 = 0x01
+	TypeCompressedEthernet uint8 = 0x02
+	TypeCompressedSrcOnly  uint8 = 0x03
+	TypeCompressedDstOnly  uint8 = 0x04
+)
+
+// EthernetHeaderLen is the uncompressed BNEP general-Ethernet header length:
+// type byte + dst MAC + src MAC + EtherType.
+const EthernetHeaderLen = 1 + 6 + 6 + 2
+
+// Frame is one BNEP-encapsulated Ethernet frame.
+type Frame struct {
+	Type      uint8
+	Dst, Src  [6]byte
+	EtherType uint16
+	Payload   []byte
+}
+
+// Marshal serialises a frame. Compressed types omit the elided addresses,
+// exactly as on the wire.
+func (f Frame) Marshal() ([]byte, error) {
+	if len(f.Payload) > MTU {
+		return nil, fmt.Errorf("bnep: payload %dB exceeds MTU %d", len(f.Payload), MTU)
+	}
+	out := make([]byte, 0, EthernetHeaderLen+len(f.Payload))
+	out = append(out, f.Type)
+	switch f.Type {
+	case TypeGeneralEthernet:
+		out = append(out, f.Dst[:]...)
+		out = append(out, f.Src[:]...)
+	case TypeCompressedEthernet:
+		// Both addresses elided (known from the connection).
+	case TypeCompressedSrcOnly:
+		out = append(out, f.Src[:]...)
+	case TypeCompressedDstOnly:
+		out = append(out, f.Dst[:]...)
+	case TypeControl:
+		// Control frames carry no Ethernet addressing.
+	default:
+		return nil, fmt.Errorf("bnep: unknown packet type %#x", f.Type)
+	}
+	if f.Type != TypeControl {
+		var et [2]byte
+		binary.BigEndian.PutUint16(et[:], f.EtherType)
+		out = append(out, et[:]...)
+	}
+	out = append(out, f.Payload...)
+	return out, nil
+}
+
+// Unmarshal parses a frame produced by Marshal.
+func Unmarshal(wire []byte) (Frame, error) {
+	if len(wire) < 1 {
+		return Frame{}, fmt.Errorf("bnep: empty frame")
+	}
+	f := Frame{Type: wire[0]}
+	rest := wire[1:]
+	take := func(n int) ([]byte, error) {
+		if len(rest) < n {
+			return nil, fmt.Errorf("bnep: truncated frame")
+		}
+		out := rest[:n]
+		rest = rest[n:]
+		return out, nil
+	}
+	var err error
+	var b []byte
+	switch f.Type {
+	case TypeGeneralEthernet:
+		if b, err = take(6); err != nil {
+			return Frame{}, err
+		}
+		copy(f.Dst[:], b)
+		if b, err = take(6); err != nil {
+			return Frame{}, err
+		}
+		copy(f.Src[:], b)
+	case TypeCompressedEthernet, TypeControl:
+	case TypeCompressedSrcOnly:
+		if b, err = take(6); err != nil {
+			return Frame{}, err
+		}
+		copy(f.Src[:], b)
+	case TypeCompressedDstOnly:
+		if b, err = take(6); err != nil {
+			return Frame{}, err
+		}
+		copy(f.Dst[:], b)
+	default:
+		return Frame{}, fmt.Errorf("bnep: unknown packet type %#x", f.Type)
+	}
+	if f.Type != TypeControl {
+		if b, err = take(2); err != nil {
+			return Frame{}, err
+		}
+		f.EtherType = binary.BigEndian.Uint16(b)
+	}
+	f.Payload = append([]byte(nil), rest...)
+	return f, nil
+}
+
+// Config parameterises the BNEP service's fault behaviour.
+type Config struct {
+	// ModuleMissingProb: the kernel module backing bnep0 cannot be located.
+	ModuleMissingProb float64
+	// OccupiedProb: the bnep device is still held by a previous connection.
+	OccupiedProb float64
+	// AddFailedProb: adding the connection to the bridge fails.
+	AddFailedProb float64
+	// SetupTime is the kernel-side interface build time — the first half of
+	// the paper's T_H interval.
+	SetupTime sim.Time
+}
+
+// DefaultConfig returns calibrated BNEP parameters.
+func DefaultConfig() Config {
+	return Config{
+		ModuleMissingProb: 8e-6,
+		OccupiedProb:      1e-5,
+		AddFailedProb:     5e-6,
+		SetupTime:         120 * sim.Millisecond,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.ModuleMissingProb < 0 || c.ModuleMissingProb > 1 ||
+		c.OccupiedProb < 0 || c.OccupiedProb > 1 ||
+		c.AddFailedProb < 0 || c.AddFailedProb > 1 {
+		return fmt.Errorf("bnep: probability out of range")
+	}
+	if c.SetupTime < 0 {
+		return fmt.Errorf("bnep: negative setup time")
+	}
+	return nil
+}
+
+// Interface is the bnep0 virtual network interface. It exists once the BNEP
+// channel is up, but is only usable for socket binds after the OS hotplug
+// mechanism has configured it (Configured == true) — the T_C/T_H race.
+type Interface struct {
+	Name       string
+	CreatedAt  sim.Time
+	Configured bool
+	Channel    *l2cap.Channel
+}
+
+// Result reports a BNEP operation.
+type Result struct {
+	Dur sim.Time
+	Err error
+}
+
+// Service is the BNEP layer of one node.
+type Service struct {
+	cfg   Config
+	node  string
+	rng   *rand.Rand
+	sink  hci.Sink
+	clock func() sim.Time
+
+	iface *Interface // at most one bnep interface per PANU in the testbeds
+
+	moduleMissing, occupied, addFailed int
+}
+
+// NewService builds the BNEP layer.
+func NewService(cfg Config, node string, clock func() sim.Time, rng *rand.Rand, sink hci.Sink) *Service {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if clock == nil {
+		panic("bnep: nil clock")
+	}
+	return &Service{cfg: cfg, node: node, clock: clock, rng: rng, sink: sink}
+}
+
+// Stats reports fault counters.
+func (s *Service) Stats() (moduleMissing, occupied, addFailed int) {
+	return s.moduleMissing, s.occupied, s.addFailed
+}
+
+// Interface returns the current bnep0 interface, or nil.
+func (s *Service) Interface() *Interface { return s.iface }
+
+// fail logs and wraps a BNEP error.
+func (s *Service) fail(code core.ErrorCode, op string) Result {
+	switch code {
+	case core.CodeBNEPModuleMissing:
+		s.moduleMissing++
+	case core.CodeBNEPOccupied:
+		s.occupied++
+	case core.CodeBNEPAddFailed:
+		s.addFailed++
+	}
+	if s.sink != nil {
+		s.sink(code, op)
+	}
+	return Result{Err: core.NewSimError(code, op, s.node)}
+}
+
+// CreateChannel builds the bnep0 interface over an open L2CAP channel. On
+// success the interface exists but is NOT configured: the OS hotplug layer
+// flips Configured after its own delay (stack.Hotplug drives that).
+func (s *Service) CreateChannel(ch *l2cap.Channel) (*Interface, Result) {
+	if ch == nil || ch.State != l2cap.StateOpen {
+		return nil, s.fail(core.CodeBNEPAddFailed, "bnep.create")
+	}
+	switch u := s.rng.Float64(); {
+	case u < s.cfg.ModuleMissingProb:
+		return nil, s.fail(core.CodeBNEPModuleMissing, "bnep.create")
+	case u < s.cfg.ModuleMissingProb+s.cfg.OccupiedProb:
+		return nil, s.fail(core.CodeBNEPOccupied, "bnep.create")
+	case u < s.cfg.ModuleMissingProb+s.cfg.OccupiedProb+s.cfg.AddFailedProb:
+		return nil, s.fail(core.CodeBNEPAddFailed, "bnep.create")
+	}
+	s.iface = &Interface{
+		Name:      "bnep0",
+		CreatedAt: s.clock(),
+		Channel:   ch,
+	}
+	return s.iface, Result{Dur: s.cfg.SetupTime}
+}
+
+// DestroyChannel tears the interface down (disconnect or connection reset).
+func (s *Service) DestroyChannel() {
+	s.iface = nil
+}
+
+// Occupied reports whether a bnep interface currently exists; attempting a
+// new PAN connection while it does is the "bnep occupied" condition.
+func (s *Service) Occupied() bool { return s.iface != nil }

@@ -1,0 +1,208 @@
+package bnep
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/l2cap"
+	"repro/internal/sim"
+)
+
+func openChannel() *l2cap.Channel {
+	return &l2cap.Channel{LocalCID: 0x40, RemoteCID: 0x1040,
+		PSM: l2cap.PSMBNEP, State: l2cap.StateOpen}
+}
+
+func newService(mutate func(*Config)) *Service {
+	cfg := DefaultConfig()
+	cfg.ModuleMissingProb, cfg.OccupiedProb, cfg.AddFailedProb = 0, 0, 0
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	var now sim.Time
+	return NewService(cfg, "Azzurro", func() sim.Time { return now },
+		rand.New(rand.NewPCG(21, 22)), nil)
+}
+
+func TestFrameRoundTripAllTypes(t *testing.T) {
+	dst := [6]byte{0, 0x1A, 0x7D, 1, 2, 3}
+	src := [6]byte{0, 0x1A, 0x7D, 9, 8, 7}
+	for _, typ := range []uint8{TypeGeneralEthernet, TypeControl,
+		TypeCompressedEthernet, TypeCompressedSrcOnly, TypeCompressedDstOnly} {
+		f := Frame{Type: typ, Dst: dst, Src: src, EtherType: 0x0800,
+			Payload: []byte("ip packet payload")}
+		wire, err := f.Marshal()
+		if err != nil {
+			t.Fatalf("type %#x marshal: %v", typ, err)
+		}
+		got, err := Unmarshal(wire)
+		if err != nil {
+			t.Fatalf("type %#x unmarshal: %v", typ, err)
+		}
+		if got.Type != typ || !bytes.Equal(got.Payload, f.Payload) {
+			t.Fatalf("type %#x corrupted: %+v", typ, got)
+		}
+		switch typ {
+		case TypeGeneralEthernet:
+			if got.Dst != dst || got.Src != src {
+				t.Errorf("general ethernet lost addresses")
+			}
+		case TypeCompressedSrcOnly:
+			if got.Src != src {
+				t.Errorf("src-only lost source")
+			}
+		case TypeCompressedDstOnly:
+			if got.Dst != dst {
+				t.Errorf("dst-only lost destination")
+			}
+		}
+		if typ != TypeControl && got.EtherType != 0x0800 {
+			t.Errorf("type %#x lost EtherType", typ)
+		}
+	}
+}
+
+func TestFrameHeaderOverheads(t *testing.T) {
+	f := Frame{Type: TypeGeneralEthernet, EtherType: 0x0800, Payload: make([]byte, 100)}
+	wire, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != EthernetHeaderLen+100 {
+		t.Errorf("general header length = %d, want %d", len(wire)-100, EthernetHeaderLen)
+	}
+	f.Type = TypeCompressedEthernet
+	wire, err = f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != 3+100 {
+		t.Errorf("compressed header length = %d, want 3", len(wire)-100)
+	}
+}
+
+func TestFrameRejectsOversizedAndUnknown(t *testing.T) {
+	if _, err := (Frame{Type: TypeCompressedEthernet, Payload: make([]byte, MTU+1)}).Marshal(); err == nil {
+		t.Error("oversized payload accepted")
+	}
+	if _, err := (Frame{Type: 0x7F}).Marshal(); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("empty frame accepted")
+	}
+	if _, err := Unmarshal([]byte{TypeGeneralEthernet, 1, 2}); err == nil {
+		t.Error("truncated frame accepted")
+	}
+	if _, err := Unmarshal([]byte{0x7F, 0, 0}); err == nil {
+		t.Error("unknown type frame accepted")
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	prop := func(payload []byte, dst, src [6]byte, et uint16) bool {
+		if len(payload) > MTU {
+			payload = payload[:MTU]
+		}
+		f := Frame{Type: TypeGeneralEthernet, Dst: dst, Src: src,
+			EtherType: et, Payload: payload}
+		wire, err := f.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(wire)
+		if err != nil {
+			return false
+		}
+		want := payload
+		if want == nil {
+			want = []byte{}
+		}
+		return got.Dst == dst && got.Src == src && got.EtherType == et &&
+			bytes.Equal(got.Payload, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCreateChannelHappyPath(t *testing.T) {
+	s := newService(nil)
+	iface, res := s.CreateChannel(openChannel())
+	if res.Err != nil {
+		t.Fatalf("create: %v", res.Err)
+	}
+	if iface == nil || iface.Name != "bnep0" {
+		t.Fatalf("iface = %+v", iface)
+	}
+	if iface.Configured {
+		t.Error("interface should not be configured before hotplug runs")
+	}
+	if !s.Occupied() {
+		t.Error("service should be occupied")
+	}
+	s.DestroyChannel()
+	if s.Occupied() || s.Interface() != nil {
+		t.Error("destroy did not release the interface")
+	}
+}
+
+func TestCreateChannelRequiresOpenL2CAP(t *testing.T) {
+	s := newService(nil)
+	_, res := s.CreateChannel(nil)
+	var se *core.SimError
+	if !errors.As(res.Err, &se) || se.Code != core.CodeBNEPAddFailed {
+		t.Fatalf("nil channel: %v", res.Err)
+	}
+	closed := openChannel()
+	closed.State = l2cap.StateClosed
+	if _, res := s.CreateChannel(closed); res.Err == nil {
+		t.Error("closed channel accepted")
+	}
+}
+
+func TestCreateChannelFaults(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+		want   core.ErrorCode
+	}{
+		{"module missing", func(c *Config) { c.ModuleMissingProb = 1 }, core.CodeBNEPModuleMissing},
+		{"occupied", func(c *Config) { c.OccupiedProb = 1 }, core.CodeBNEPOccupied},
+		{"add failed", func(c *Config) { c.AddFailedProb = 1 }, core.CodeBNEPAddFailed},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := newService(tt.mutate)
+			_, res := s.CreateChannel(openChannel())
+			var se *core.SimError
+			if !errors.As(res.Err, &se) || se.Code != tt.want {
+				t.Fatalf("got %v, want %v", res.Err, tt.want)
+			}
+			mm, occ, af := s.Stats()
+			if mm+occ+af != 1 {
+				t.Errorf("stats = %d/%d/%d, want exactly one", mm, occ, af)
+			}
+		})
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.OccupiedProb = 1.1
+	if bad.Validate() == nil {
+		t.Error("probability > 1 should fail")
+	}
+	bad = DefaultConfig()
+	bad.SetupTime = -1
+	if bad.Validate() == nil {
+		t.Error("negative setup time should fail")
+	}
+}

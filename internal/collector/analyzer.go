@@ -1,0 +1,110 @@
+package collector
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/logging"
+	"repro/internal/sim"
+)
+
+// Filter decides what is significant enough to ship to the repository. The
+// paper's LogAnalyzer filters the raw logs so that only significant data
+// travels; the dominant noise in system logs is repeated identical error
+// entries from one component thrashing, which collapse to the first
+// occurrence within the window.
+type Filter struct {
+	// DedupWindow collapses identical (node, code) system entries closer
+	// than this; 0 disables deduplication.
+	DedupWindow sim.Time
+}
+
+// DefaultFilter returns the standard filter.
+func DefaultFilter() Filter {
+	return Filter{DedupWindow: 2 * sim.Second}
+}
+
+// FilterSystem returns the significant entries, preserving order.
+func (f Filter) FilterSystem(entries []core.SystemEntry) []core.SystemEntry {
+	if f.DedupWindow <= 0 || len(entries) == 0 {
+		return entries
+	}
+	type key struct {
+		node string
+		code core.ErrorCode
+	}
+	lastSeen := make(map[key]sim.Time)
+	out := make([]core.SystemEntry, 0, len(entries))
+	for _, e := range entries {
+		k := key{e.Node, e.Code}
+		if at, ok := lastSeen[k]; ok && e.At-at <= f.DedupWindow {
+			lastSeen[k] = e.At
+			continue
+		}
+		lastSeen[k] = e.At
+		out = append(out, e)
+	}
+	return out
+}
+
+// FilterUser passes user reports through unchanged (every user-level
+// failure is significant by definition).
+func (f Filter) FilterUser(reports []core.UserReport) []core.UserReport {
+	return reports
+}
+
+// LogAnalyzer is the per-node collection daemon.
+type LogAnalyzer struct {
+	Node    string
+	Testbed string
+
+	test   *logging.TestLog
+	sys    *logging.SystemLog
+	addr   string
+	filter Filter
+
+	shipped int
+}
+
+// NewLogAnalyzer builds the daemon for one node, shipping to the repository
+// at addr.
+func NewLogAnalyzer(node, testbed string, test *logging.TestLog, sys *logging.SystemLog, addr string, filter Filter) *LogAnalyzer {
+	if test == nil || sys == nil {
+		panic("collector: nil logs")
+	}
+	return &LogAnalyzer{Node: node, Testbed: testbed, test: test, sys: sys,
+		addr: addr, filter: filter}
+}
+
+// Shipped reports how many batches have been sent.
+func (a *LogAnalyzer) Shipped() int { return a.shipped }
+
+// FlushOnce extracts, filters and ships the current log contents. An empty
+// extraction ships nothing and returns nil.
+func (a *LogAnalyzer) FlushOnce() error {
+	reports := a.filter.FilterUser(a.test.Drain())
+	entries := a.filter.FilterSystem(a.sys.Drain())
+	if len(reports) == 0 && len(entries) == 0 {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", a.addr, 5*time.Second)
+	if err != nil {
+		// Put the data back so the next flush retries it.
+		for _, r := range reports {
+			a.test.Append(r)
+		}
+		for _, e := range entries {
+			a.sys.Append(e)
+		}
+		return fmt.Errorf("collector: dial repository: %w", err)
+	}
+	defer conn.Close()
+	batch := &Batch{Node: a.Node, Testbed: a.Testbed, Reports: reports, Entries: entries}
+	if err := WriteBatch(conn, batch); err != nil {
+		return err
+	}
+	a.shipped++
+	return nil
+}

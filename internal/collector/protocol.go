@@ -1,0 +1,77 @@
+// Package collector implements the paper's collection infrastructure: a
+// LogAnalyzer daemon per BT node that periodically (i) extracts failure data
+// from the node's Test Log and System Log, (ii) filters it so only
+// significant data travels, and (iii) ships it to a central repository,
+// plus the repository server itself.
+//
+// Transport is TCP with length-prefixed JSON batches, so the pieces run as
+// real daemons (see cmd/btcampaign and examples/campaign) and are exercised
+// over loopback in tests.
+package collector
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// Batch is one shipment from a LogAnalyzer to the repository.
+type Batch struct {
+	Node    string             `json:"node"`
+	Testbed string             `json:"testbed"`
+	Reports []core.UserReport  `json:"reports,omitempty"`
+	Entries []core.SystemEntry `json:"entries,omitempty"`
+}
+
+// maxBatchBytes bounds a wire batch (guards the repository against garbage
+// or runaway peers).
+const maxBatchBytes = 64 << 20
+
+// WriteBatch frames and writes one batch: a 4-byte big-endian length prefix
+// followed by the JSON payload.
+func WriteBatch(w io.Writer, b *Batch) error {
+	blob, err := json.Marshal(b)
+	if err != nil {
+		return fmt.Errorf("collector: marshal batch: %w", err)
+	}
+	if len(blob) > maxBatchBytes {
+		return fmt.Errorf("collector: batch of %d bytes exceeds limit", len(blob))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(blob)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("collector: write frame header: %w", err)
+	}
+	if _, err := w.Write(blob); err != nil {
+		return fmt.Errorf("collector: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadBatch reads one framed batch. io.EOF is returned unchanged when the
+// stream ends cleanly between frames.
+func ReadBatch(r io.Reader) (*Batch, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("collector: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxBatchBytes {
+		return nil, fmt.Errorf("collector: implausible frame length %d", n)
+	}
+	blob := make([]byte, n)
+	if _, err := io.ReadFull(r, blob); err != nil {
+		return nil, fmt.Errorf("collector: read frame body: %w", err)
+	}
+	var b Batch
+	if err := json.Unmarshal(blob, &b); err != nil {
+		return nil, fmt.Errorf("collector: decode batch: %w", err)
+	}
+	return &b, nil
+}

@@ -1,0 +1,116 @@
+package collector
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Repository is the central failure-data store: it accepts LogAnalyzer
+// connections and accumulates their batches.
+type Repository struct {
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu      sync.Mutex
+	reports []core.UserReport
+	entries []core.SystemEntry
+	batches int
+	closed  bool
+}
+
+// NewRepository starts a repository listening on addr (use "127.0.0.1:0"
+// for an ephemeral test port).
+func NewRepository(addr string) (*Repository, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("collector: listen %s: %w", addr, err)
+	}
+	r := &Repository{ln: ln}
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr reports the listening address.
+func (r *Repository) Addr() string { return r.ln.Addr().String() }
+
+// acceptLoop serves incoming LogAnalyzer connections until Close.
+func (r *Repository) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer conn.Close()
+			r.serve(conn)
+		}()
+	}
+}
+
+// serve drains one connection's batches.
+func (r *Repository) serve(conn net.Conn) {
+	for {
+		b, err := ReadBatch(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				// A malformed peer: drop the connection; partial batches
+				// were already stored atomically per frame.
+				return
+			}
+			return
+		}
+		r.mu.Lock()
+		r.reports = append(r.reports, b.Reports...)
+		r.entries = append(r.entries, b.Entries...)
+		r.batches++
+		r.mu.Unlock()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (r *Repository) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	err := r.ln.Close()
+	r.wg.Wait()
+	return err
+}
+
+// Reports returns a copy of the accumulated user reports.
+func (r *Repository) Reports() []core.UserReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]core.UserReport, len(r.reports))
+	copy(out, r.reports)
+	return out
+}
+
+// Entries returns a copy of the accumulated system entries.
+func (r *Repository) Entries() []core.SystemEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]core.SystemEntry, len(r.entries))
+	copy(out, r.entries)
+	return out
+}
+
+// Stats reports aggregate counts (reports, entries, batches).
+func (r *Repository) Stats() (reports, entries, batches int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.reports), len(r.entries), r.batches
+}

@@ -1,0 +1,149 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+func TestCatalogShape(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 7 {
+		t.Fatalf("catalogue has %d machines, the testbed has 7", len(cat))
+	}
+	naps := 0
+	for _, s := range cat {
+		if s.IsNAP {
+			naps++
+		}
+	}
+	if naps != 1 {
+		t.Fatalf("%d NAPs, want 1", naps)
+	}
+	if cat[0].Name != "Giallo" || !cat[0].IsNAP {
+		t.Error("Giallo must be the NAP, first in the catalogue")
+	}
+	if len(PANUs()) != 6 {
+		t.Errorf("PANUs = %d, want 6", len(PANUs()))
+	}
+}
+
+func TestHALDefectOnlyOnAzzurroAndWin(t *testing.T) {
+	for _, s := range Catalog() {
+		want := s.Name == "Azzurro" || s.Name == "Win"
+		if s.OS.HALDefect != want {
+			t.Errorf("%s HALDefect = %v, want %v", s.Name, s.OS.HALDefect, want)
+		}
+	}
+}
+
+func TestPDAsUseBCSP(t *testing.T) {
+	for _, s := range Catalog() {
+		if s.IsPDA && s.Transport != transport.KindBCSP {
+			t.Errorf("PDA %s uses %v, want BCSP", s.Name, s.Transport)
+		}
+		if !s.IsPDA && s.Transport == transport.KindBCSP {
+			t.Errorf("PC %s uses BCSP", s.Name)
+		}
+	}
+	pdas := 0
+	for _, s := range Catalog() {
+		if s.IsPDA {
+			pdas++
+		}
+	}
+	if pdas != 2 {
+		t.Errorf("%d PDAs, want 2 (iPAQ, Zaurus)", pdas)
+	}
+}
+
+func TestWindowsRunsBroadcom(t *testing.T) {
+	win, err := ByName("Win")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.OS.Family != "Windows" || win.BTStack != "Broadcomm" {
+		t.Errorf("Win = %+v", win)
+	}
+	// Everyone else runs BlueZ on Linux.
+	for _, s := range Catalog() {
+		if s.Name == "Win" {
+			continue
+		}
+		if s.OS.Family != "Linux" || s.BTStack != "BlueZ 2.10" {
+			t.Errorf("%s: OS=%s stack=%s", s.Name, s.OS.Family, s.BTStack)
+		}
+	}
+}
+
+func TestDistancesCoverPaperGeometry(t *testing.T) {
+	counts := map[float64]int{}
+	for _, s := range PANUs() {
+		counts[s.DistanceM]++
+	}
+	for _, d := range []float64{0.5, 5, 7} {
+		if counts[d] != 2 {
+			t.Errorf("distance %v has %d PANUs, want 2", d, counts[d])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("Miseno"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}
+
+func TestBuildTransportKinds(t *testing.T) {
+	world := sim.NewWorld(5)
+	for _, s := range Catalog() {
+		tr := s.BuildTransport(world)
+		if tr.Kind() != s.Transport {
+			t.Errorf("%s transport = %v, want %v", s.Name, tr.Kind(), s.Transport)
+		}
+	}
+}
+
+func TestBuildHostRoundTrip(t *testing.T) {
+	world := sim.NewWorld(6)
+	var connID uint64
+	nap, _ := ByName("Giallo")
+	napHost := nap.BuildHost(world, &connID, nil)
+	if napHost.NAP == nil {
+		t.Fatal("Giallo host has no NAP role")
+	}
+	ipaq, _ := ByName("Ipaq")
+	ipaqHost := ipaq.BuildHost(world, &connID, nil)
+	if ipaqHost.PANU == nil || !ipaqHost.IsPDA {
+		t.Fatal("Ipaq host misconfigured")
+	}
+	if ipaqHost.Transport.Kind() != transport.KindBCSP {
+		t.Error("Ipaq must ride BCSP")
+	}
+	if ipaqHost.DistanceM != 7 {
+		t.Errorf("Ipaq distance = %v", ipaqHost.DistanceM)
+	}
+}
+
+func TestHostConfigReflectsDistance(t *testing.T) {
+	verde, _ := ByName("Verde")
+	ipaq, _ := ByName("Ipaq")
+	if verde.HostConfig().Radio.DistanceM != 0.5 {
+		t.Error("Verde radio distance wrong")
+	}
+	if ipaq.HostConfig().Radio.DistanceM != 7 {
+		t.Error("Ipaq radio distance wrong")
+	}
+}
+
+func TestBootTimesPositive(t *testing.T) {
+	for _, s := range Catalog() {
+		if s.OS.BootTime <= 0 || s.OS.AppRestartTime <= 0 {
+			t.Errorf("%s has non-positive recovery timings", s.Name)
+		}
+	}
+}

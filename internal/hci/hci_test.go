@@ -1,0 +1,227 @@
+package hci
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+type fixture struct {
+	host *Host
+	now  sim.Time
+	logs []core.ErrorCode
+}
+
+func newFixture(t *testing.T, mutate func(*Config)) *fixture {
+	t.Helper()
+	cfg := DefaultConfig()
+	// Deterministic by default: no spontaneous faults unless the test asks.
+	cfg.TimeoutProbIdle, cfg.TimeoutProbBusy, cfg.InquiryFailProb = 0, 0, 0
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	f := &fixture{}
+	tr := transport.NewH4(transport.H4Config{BaudRate: 115200})
+	f.host = NewHost(cfg, "Verde", tr,
+		func() sim.Time { return f.now },
+		rand.New(rand.NewPCG(1, 2)),
+		func(code core.ErrorCode, op string) { f.logs = append(f.logs, code) })
+	return f
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.CommandTimeout = 0
+	if bad.Validate() == nil {
+		t.Error("zero timeout should fail")
+	}
+	bad = DefaultConfig()
+	bad.TimeoutProbBusy = 1.5
+	if bad.Validate() == nil {
+		t.Error("probability 1.5 should fail")
+	}
+}
+
+func TestConnectionLifecycle(t *testing.T) {
+	f := newFixture(t, nil)
+	hd, res := f.host.CreateConnection("Giallo")
+	if res.Err != nil {
+		t.Fatalf("create: %v", res.Err)
+	}
+	if hd == InvalidHandle || !f.host.ValidHandle(hd) {
+		t.Fatal("no valid handle allocated")
+	}
+	if peer, ok := f.host.Peer(hd); !ok || peer != "Giallo" {
+		t.Errorf("Peer = %q/%v", peer, ok)
+	}
+	if f.host.OpenHandles() != 1 {
+		t.Errorf("OpenHandles = %d", f.host.OpenHandles())
+	}
+	if res := f.host.Disconnect(hd); res.Err != nil {
+		t.Fatalf("disconnect: %v", res.Err)
+	}
+	if f.host.ValidHandle(hd) {
+		t.Error("handle survived disconnect")
+	}
+}
+
+func TestDisconnectUnknownHandle(t *testing.T) {
+	f := newFixture(t, nil)
+	res := f.host.Disconnect(42)
+	var se *core.SimError
+	if !errors.As(res.Err, &se) || se.Code != core.CodeHCIInvalidHandle {
+		t.Fatalf("want invalid-handle error, got %v", res.Err)
+	}
+	if len(f.logs) != 1 || f.logs[0] != core.CodeHCIInvalidHandle {
+		t.Errorf("sink saw %v, want one invalid-handle entry", f.logs)
+	}
+	if _, inv := f.host.Stats(); inv != 1 {
+		t.Errorf("invalid-handle counter = %d", inv)
+	}
+}
+
+func TestBusyWindowRaisesTimeoutProbability(t *testing.T) {
+	f := newFixture(t, func(c *Config) {
+		c.TimeoutProbBusy = 1 // certain timeout while busy
+	})
+	// Idle: command sails through.
+	if _, res := f.host.CreateConnection("Giallo"); res.Err != nil {
+		t.Fatalf("idle create failed: %v", res.Err)
+	}
+	// The create left the controller busy for ConnSetupTime; a command
+	// issued now must hit the busy timeout.
+	if !f.host.Busy() {
+		t.Fatal("controller should be busy after create")
+	}
+	_, res := f.host.CreateConnection("Miseno")
+	var se *core.SimError
+	if !errors.As(res.Err, &se) || se.Code != core.CodeHCICommandTimeout {
+		t.Fatalf("want command timeout on busy device, got %v", res.Err)
+	}
+	if res.Dur < DefaultConfig().CommandTimeout {
+		t.Errorf("timeout should cost the full command timeout, got %v", res.Dur)
+	}
+	// Advance past the busy window: commands succeed again.
+	f.now += 10 * sim.Second
+	if _, res := f.host.CreateConnection("Azzurro"); res.Err != nil {
+		t.Fatalf("post-busy create failed: %v", res.Err)
+	}
+}
+
+func TestSetBusyExtendsNotShrinks(t *testing.T) {
+	f := newFixture(t, nil)
+	f.host.SetBusy(10 * sim.Second)
+	f.host.SetBusy(5 * sim.Second)
+	f.now = 7 * sim.Second
+	if !f.host.Busy() {
+		t.Error("shorter SetBusy should not shrink the window")
+	}
+}
+
+func TestSwitchRole(t *testing.T) {
+	f := newFixture(t, nil)
+	hd, _ := f.host.CreateConnection("Giallo")
+	if res := f.host.SwitchRole(hd); res.Err != nil {
+		t.Fatalf("switch role: %v", res.Err)
+	}
+	res := f.host.SwitchRole(999)
+	var se *core.SimError
+	if !errors.As(res.Err, &se) || se.Code != core.CodeHCIInvalidHandle {
+		t.Fatalf("switch on bad handle: %v", res.Err)
+	}
+}
+
+func TestInquiry(t *testing.T) {
+	f := newFixture(t, nil)
+	res := f.host.Inquiry()
+	if res.Err != nil {
+		t.Fatalf("inquiry: %v", res.Err)
+	}
+	if res.Dur < DefaultConfig().InquiryDuration {
+		t.Errorf("inquiry duration %v below configured %v", res.Dur, DefaultConfig().InquiryDuration)
+	}
+	if !f.host.Busy() {
+		t.Error("inquiry should leave the controller busy")
+	}
+}
+
+func TestInquiryAbnormalTermination(t *testing.T) {
+	f := newFixture(t, func(c *Config) { c.InquiryFailProb = 1 })
+	res := f.host.Inquiry()
+	if res.Err == nil {
+		t.Fatal("want abnormal termination")
+	}
+	var se *core.SimError
+	if !errors.As(res.Err, &se) || se.Code != core.CodeUnknown {
+		t.Fatalf("inquiry failures carry no system error code, got %v", res.Err)
+	}
+	if len(f.logs) != 0 {
+		t.Errorf("inquiry failure should not log a system entry (no relationship in Table 2), got %v", f.logs)
+	}
+}
+
+func TestCommandOnHandle(t *testing.T) {
+	f := newFixture(t, nil)
+	hd, _ := f.host.CreateConnection("Giallo")
+	if res := f.host.CommandOnHandle("l2cap.config", hd, 12); res.Err != nil {
+		t.Fatalf("command on live handle: %v", res.Err)
+	}
+	res := f.host.CommandOnHandle("l2cap.config", hd+1, 12)
+	var se *core.SimError
+	if !errors.As(res.Err, &se) || se.Code != core.CodeHCIInvalidHandle {
+		t.Fatalf("command on stale handle: %v", res.Err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := newFixture(t, nil)
+	hd, _ := f.host.CreateConnection("Giallo")
+	f.host.SetBusy(sim.Hour)
+	f.host.Reset()
+	if f.host.ValidHandle(hd) {
+		t.Error("reset should drop handles")
+	}
+	if f.host.Busy() {
+		t.Error("reset should clear the busy window")
+	}
+}
+
+func TestTransportFaultSurfacesThroughHCI(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TimeoutProbIdle, cfg.TimeoutProbBusy, cfg.InquiryFailProb = 0, 0, 0
+	bcspCfg := transport.DefaultBCSPConfig()
+	bcspCfg.ReorderProb, bcspCfg.RecoverProb = 1, 0
+	var logs []core.ErrorCode
+	var now sim.Time
+	host := NewHost(cfg, "Ipaq",
+		transport.NewBCSPSim(bcspCfg, "Ipaq", rand.New(rand.NewPCG(3, 4))),
+		func() sim.Time { return now },
+		rand.New(rand.NewPCG(5, 6)),
+		func(code core.ErrorCode, op string) { logs = append(logs, code) })
+	_, res := host.CreateConnection("Giallo")
+	var se *core.SimError
+	if !errors.As(res.Err, &se) || se.Code != core.CodeBCSPOutOfOrder {
+		t.Fatalf("want BCSP out-of-order through HCI, got %v", res.Err)
+	}
+	if len(logs) != 1 || logs[0] != core.CodeBCSPOutOfOrder {
+		t.Errorf("sink saw %v", logs)
+	}
+}
+
+func TestStatsCountTimeouts(t *testing.T) {
+	f := newFixture(t, func(c *Config) { c.TimeoutProbIdle = 1 })
+	f.host.Inquiry()
+	if to, _ := f.host.Stats(); to != 1 {
+		t.Errorf("timeouts = %d, want 1", to)
+	}
+}

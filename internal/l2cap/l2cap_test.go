@@ -1,0 +1,273 @@
+package l2cap
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/hci"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+type fixture struct {
+	mux  *Mux
+	host *hci.Host
+	now  sim.Time
+	logs []core.ErrorCode
+}
+
+func newFixture(t *testing.T, mutate func(*Config)) *fixture {
+	t.Helper()
+	f := &fixture{}
+	hcfg := hci.DefaultConfig()
+	hcfg.TimeoutProbIdle, hcfg.TimeoutProbBusy, hcfg.InquiryFailProb = 0, 0, 0
+	sink := func(code core.ErrorCode, op string) { f.logs = append(f.logs, code) }
+	f.host = hci.NewHost(hcfg, "Verde",
+		transport.NewH4(transport.H4Config{BaudRate: 115200}),
+		func() sim.Time { return f.now },
+		rand.New(rand.NewPCG(7, 8)), sink)
+	cfg := DefaultConfig()
+	cfg.UnexpectedFrameProb, cfg.DataFaultPerPacket = 0, 0
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	f.mux = NewMux(cfg, "Verde", f.host, rand.New(rand.NewPCG(9, 10)), sink)
+	return f
+}
+
+func (f *fixture) connect(t *testing.T) (*Channel, hci.Handle) {
+	t.Helper()
+	hd, res := f.host.CreateConnection("Giallo")
+	if res.Err != nil {
+		t.Fatalf("hci create: %v", res.Err)
+	}
+	f.now += 10 * sim.Second // leave the busy window
+	ch, cres := f.mux.Connect(hd, PSMBNEP)
+	if cres.Err != nil {
+		t.Fatalf("l2cap connect: %v", cres.Err)
+	}
+	return ch, hd
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.MTU = 10
+	if bad.Validate() == nil {
+		t.Error("tiny MTU should fail")
+	}
+}
+
+func TestConnectLifecycle(t *testing.T) {
+	f := newFixture(t, nil)
+	ch, _ := f.connect(t)
+	if ch.State != StateOpen {
+		t.Fatalf("state = %v, want open", ch.State)
+	}
+	if ch.PSM != PSMBNEP {
+		t.Errorf("psm = %#x", ch.PSM)
+	}
+	if ch.LocalCID < 0x0040 {
+		t.Errorf("dynamic CID %#x below 0x0040", ch.LocalCID)
+	}
+	if f.mux.OpenChannels() != 1 {
+		t.Errorf("OpenChannels = %d", f.mux.OpenChannels())
+	}
+	if res := f.mux.Disconnect(ch); res.Err != nil {
+		t.Fatalf("disconnect: %v", res.Err)
+	}
+	if ch.State != StateClosed || f.mux.OpenChannels() != 0 {
+		t.Error("channel not closed")
+	}
+}
+
+func TestConnectPropagatesHCIFailure(t *testing.T) {
+	f := newFixture(t, nil)
+	// Stale handle: HCI invalid-handle must surface through Connect.
+	ch, res := f.mux.Connect(hci.Handle(999), PSMSDP)
+	if ch != nil {
+		t.Fatal("channel allocated despite failure")
+	}
+	var se *core.SimError
+	if !errors.As(res.Err, &se) || se.Code != core.CodeHCIInvalidHandle {
+		t.Fatalf("want HCI invalid handle, got %v", res.Err)
+	}
+}
+
+func TestConnectUnexpectedFrameFault(t *testing.T) {
+	f := newFixture(t, func(c *Config) { c.UnexpectedFrameProb = 1 })
+	hd, _ := f.host.CreateConnection("Giallo")
+	f.now += 10 * sim.Second
+	_, res := f.mux.Connect(hd, PSMBNEP)
+	var se *core.SimError
+	if !errors.As(res.Err, &se) || se.Code != core.CodeL2CAPUnexpectedFrame {
+		t.Fatalf("want unexpected-frame error, got %v", res.Err)
+	}
+	if f.mux.UnexpectedFrames() != 1 {
+		t.Errorf("UnexpectedFrames = %d", f.mux.UnexpectedFrames())
+	}
+	found := false
+	for _, c := range f.logs {
+		if c == core.CodeL2CAPUnexpectedFrame {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("violation not logged to sink")
+	}
+}
+
+func TestDisconnectNilOrClosedChannel(t *testing.T) {
+	f := newFixture(t, nil)
+	if res := f.mux.Disconnect(nil); res.Err == nil {
+		t.Error("disconnect(nil) should fail")
+	}
+	ch, _ := f.connect(t)
+	f.mux.Disconnect(ch)
+	if res := f.mux.Disconnect(ch); res.Err == nil {
+		t.Error("double disconnect should fail")
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := newFixture(t, nil)
+	f.connect(t)
+	f.mux.Reset()
+	if f.mux.OpenChannels() != 0 {
+		t.Error("reset should drop channels")
+	}
+}
+
+func TestDataFault(t *testing.T) {
+	f := newFixture(t, func(c *Config) { c.DataFaultPerPacket = 1 })
+	if !f.mux.DataFault() {
+		t.Error("certain data fault did not fire")
+	}
+	f2 := newFixture(t, nil)
+	if f2.mux.DataFault() {
+		t.Error("zero-probability data fault fired")
+	}
+}
+
+func TestSegmentSDUProperties(t *testing.T) {
+	prop := func(sduLen uint16, ptIdx uint8) bool {
+		if sduLen == 0 {
+			return true
+		}
+		pt := core.PacketTypes()[int(ptIdx)%6]
+		segs := SegmentSDU(int(sduLen), pt)
+		if len(segs) == 0 || !segs[0].Start {
+			return false
+		}
+		total := 0
+		for i, s := range segs {
+			if i > 0 && s.Start {
+				return false
+			}
+			if s.Len <= 0 || s.Len > pt.Payload() {
+				return false
+			}
+			total += s.Len
+		}
+		return total == int(sduLen)+HeaderLen
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentSDUExactFit(t *testing.T) {
+	// 1691-byte BNEP MTU + 4 header = 1695 bytes over DH5 (339) = 5 packets.
+	segs := SegmentSDU(1691, core.PTDH5)
+	if len(segs) != 5 {
+		t.Errorf("BNEP MTU over DH5 = %d fragments, want 5", len(segs))
+	}
+	// Same SDU over DM1 (17B): ceil(1695/17) = 100 packets.
+	segs = SegmentSDU(1691, core.PTDM1)
+	if len(segs) != 100 {
+		t.Errorf("BNEP MTU over DM1 = %d fragments, want 100", len(segs))
+	}
+}
+
+func TestSegmentSDUPanicsOnZeroLen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	SegmentSDU(0, core.PTDH1)
+}
+
+func TestReassemblerCleanStream(t *testing.T) {
+	var r Reassembler
+	for n := 1; n <= 2000; n += 97 {
+		for _, seg := range SegmentSDU(n, core.PTDH3) {
+			if err := r.Feed(seg, n); err != ErrNone {
+				t.Fatalf("clean stream sdu=%d: %v", n, err)
+			}
+		}
+	}
+	if r.Violations() != 0 {
+		t.Errorf("violations = %d", r.Violations())
+	}
+	if r.Complete() == 0 {
+		t.Error("no SDUs completed")
+	}
+	if r.InProgress() {
+		t.Error("stream should end on an SDU boundary")
+	}
+}
+
+func TestReassemblerContinuationFirst(t *testing.T) {
+	var r Reassembler
+	if err := r.Feed(Segment{Start: false, Len: 10}, 100); err != ErrContinuationFirst {
+		t.Fatalf("got %v, want continuation-without-start", err)
+	}
+	if r.Violations() != 1 {
+		t.Errorf("violations = %d", r.Violations())
+	}
+}
+
+func TestReassemblerStartMidSDU(t *testing.T) {
+	var r Reassembler
+	segs := SegmentSDU(400, core.PTDH1) // multiple fragments
+	if err := r.Feed(segs[0], 400); err != ErrNone {
+		t.Fatal(err)
+	}
+	// A fresh start before the SDU completes.
+	if err := r.Feed(Segment{Start: true, Len: 27}, 400); err != ErrStartMidSDU {
+		t.Fatalf("got %v, want start-mid-sdu", err)
+	}
+	// The reassembler resynchronises on the new SDU.
+	if !r.InProgress() {
+		t.Error("should be mid-SDU after resync")
+	}
+}
+
+func TestReassemblerOverflow(t *testing.T) {
+	var r Reassembler
+	if err := r.Feed(Segment{Start: true, Len: 20}, 10); err != ErrOverflow {
+		t.Fatalf("got %v, want overflow", err)
+	}
+}
+
+func TestReassemblerErrorStrings(t *testing.T) {
+	for _, e := range []ReassemblyError{ErrNone, ErrContinuationFirst, ErrStartMidSDU, ErrOverflow} {
+		if e.String() == "" {
+			t.Errorf("empty string for %d", int(e))
+		}
+	}
+}
+
+func TestChannelStateStrings(t *testing.T) {
+	for _, s := range []ChannelState{StateClosed, StateWaitConnect, StateConfig, StateOpen} {
+		if s.String() == "" {
+			t.Errorf("empty string for state %d", int(s))
+		}
+	}
+}

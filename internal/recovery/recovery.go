@@ -1,0 +1,362 @@
+// Package recovery implements the paper's fault-tolerance machinery: the
+// seven Software-Implemented Recovery Actions (SIRAs) attempted in cascade
+// upon failure detection, the per-failure effectiveness model behind
+// Table 3, the four usage scenarios compared in Table 4, and the error
+// masking strategies of §4.
+//
+// The effectiveness model works by persistence depth: every failure carries
+// a latent depth d ∈ 1..7 — the cheapest SIRA that clears it — sampled from
+// a per-failure-type distribution calibrated against Table 3 (anchored on
+// the paper's explicit numbers: NAP-not-found→stack reset 61.4 %, packet
+// loss→socket reset 5.9 %, connect-failed ≥ app-restart 84.6 %; the
+// remaining cells are a documented reconstruction, see EXPERIMENTS.md).
+// Action j clears any failure of depth ≤ j, so the cascade stops at the
+// first action ≥ d and the failure's severity is exactly d.
+package recovery
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stack"
+	"repro/internal/stats"
+)
+
+// Scenario is one of the four recovery regimes of Table 4.
+type Scenario int
+
+// Scenarios, in Table 4 column order.
+const (
+	ScenarioRebootOnly   Scenario = iota + 1 // user reboots on every failure
+	ScenarioAppReboot                        // app restart, then reboot
+	ScenarioSIRAs                            // the full automated cascade
+	ScenarioSIRAsMasking                     // cascade plus error masking
+)
+
+// Scenarios lists all four regimes.
+func Scenarios() []Scenario {
+	return []Scenario{ScenarioRebootOnly, ScenarioAppReboot, ScenarioSIRAs, ScenarioSIRAsMasking}
+}
+
+// String names the scenario as in Table 4.
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioRebootOnly:
+		return "Only Reboot"
+	case ScenarioAppReboot:
+		return "App restart and Reboot"
+	case ScenarioSIRAs:
+		return "With only SIRAs"
+	case ScenarioSIRAsMasking:
+		return "SIRAs and masking"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// Masked reports whether the scenario applies the error-masking strategies.
+func (s Scenario) Masked() bool { return s == ScenarioSIRAsMasking }
+
+// Automated reports whether the scenario runs the SIRA cascade (as opposed
+// to emulating manual user recovery).
+func (s Scenario) Automated() bool {
+	return s == ScenarioSIRAs || s == ScenarioSIRAsMasking
+}
+
+// depthWeights is the Table 3 effectiveness matrix: for each user failure,
+// the probability (in %) that each SIRA is the one that clears it. Rows sum
+// to 100. Data mismatch has no recovery defined (the workload does not run
+// the cascade for it), so it carries no row.
+var depthWeights = map[core.UserFailure][core.NumRecoveryActions]float64{
+	//                         sock   conn   stack  app    mapp   boot   mboot
+	core.UFInquiryScanFailed:       {0.0, 0.0, 34.5, 55.8, 3.9, 5.4, 0.4},
+	core.UFNAPNotFound:             {0.0, 0.5, 61.4, 5.0, 1.2, 30.8, 1.1},
+	core.UFSDPSearchFailed:         {0.0, 7.2, 39.8, 30.0, 1.8, 20.1, 1.1},
+	core.UFConnectFailed:           {0.0, 0.5, 14.9, 55.8, 2.2, 25.6, 1.0},
+	core.UFPANConnectFailed:        {0.0, 40.1, 35.7, 11.3, 0.0, 12.5, 0.4},
+	core.UFBindFailed:              {0.0, 2.0, 62.4, 30.0, 3.8, 1.7, 0.1},
+	core.UFSwitchRoleRequestFailed: {0.0, 17.5, 48.2, 14.0, 2.0, 17.3, 1.0},
+	core.UFSwitchRoleCommandFailed: {0.0, 46.4, 20.4, 28.4, 2.0, 2.4, 0.4},
+	core.UFPacketLoss:              {5.9, 63.7, 25.8, 3.3, 0.5, 0.7, 0.1},
+}
+
+// DepthWeights exposes (a copy of) the effectiveness row for a failure type
+// and whether a cascade applies to it at all.
+func DepthWeights(f core.UserFailure) ([core.NumRecoveryActions]float64, bool) {
+	w, ok := depthWeights[f]
+	return w, ok
+}
+
+// SampleDepth draws the persistence depth for a failure. The second return
+// is false for failures with no defined recovery (data mismatch).
+func SampleDepth(f core.UserFailure, rng *rand.Rand) (core.RecoveryAction, bool) {
+	w, ok := depthWeights[f]
+	if !ok {
+		return core.RANone, false
+	}
+	idx := stats.WeightedChoice(rng, w[:])
+	return core.RecoveryAction(idx + 1), true
+}
+
+// Timing computes SIRA durations for a given host OS. Durations carry ±20 %
+// jitter so TTR distributions have realistic spread.
+type Timing struct {
+	OS  stack.OSInfo
+	rng *rand.Rand
+}
+
+// NewTiming builds the duration model for a host.
+func NewTiming(os stack.OSInfo, rng *rand.Rand) *Timing {
+	return &Timing{OS: os, rng: rng}
+}
+
+// Duration components: restarting the application includes re-establishing
+// the PAN session; reboots include shutdown; a manual user reboot adds the
+// user's own environment-restoration work.
+const (
+	appRestartOverhead = 8 * sim.Second
+	shutdownOverhead   = 60 * sim.Second
+	userRebootOverhead = 160 * sim.Second
+)
+
+// jitter applies ±20 % spread.
+func (t *Timing) jitter(d sim.Time) sim.Time {
+	f := 0.8 + t.rng.Float64()*0.4
+	return sim.Time(float64(d) * f)
+}
+
+// Duration reports the cost of performing one SIRA on this host. The
+// multiple variants model the expected number of repetitions (up to 3 app
+// restarts, up to 5 reboots per the paper's definitions).
+func (t *Timing) Duration(a core.RecoveryAction) sim.Time {
+	switch a {
+	case core.RAIPSocketReset:
+		return t.jitter(600 * sim.Millisecond)
+	case core.RABTConnectionReset:
+		return t.jitter(4 * sim.Second)
+	case core.RABTStackReset:
+		return t.jitter(6500 * sim.Millisecond)
+	case core.RAAppRestart:
+		return t.jitter(appRestartOverhead + t.OS.AppRestartTime)
+	case core.RAMultiAppRestart:
+		// 2-3 consecutive restarts.
+		n := 2 + t.rng.IntN(2)
+		return t.jitter(sim.Time(n) * (appRestartOverhead + t.OS.AppRestartTime))
+	case core.RASystemReboot:
+		// Shutdown + boot + application come-back.
+		return t.jitter(shutdownOverhead + t.OS.BootTime + t.OS.AppRestartTime)
+	case core.RAMultiSystemReboot:
+		// 2-5 consecutive reboots.
+		n := 2 + t.rng.IntN(4)
+		return t.jitter(sim.Time(n) * (shutdownOverhead + t.OS.BootTime + t.OS.AppRestartTime))
+	default:
+		panic(fmt.Sprintf("recovery: no duration for action %v", a))
+	}
+}
+
+// UserRebootDuration is the cost of a manual user reboot in scenarios 1-2:
+// the user notices, shuts down, boots, restarts the application and
+// re-establishes the environment. Per the paper's upper-bound assumption the
+// user thinking time is zero.
+func (t *Timing) UserRebootDuration() sim.Time {
+	return t.jitter(userRebootOverhead + t.OS.BootTime + t.OS.AppRestartTime)
+}
+
+// Outcome reports one recovery run.
+type Outcome struct {
+	// Action is the SIRA (or manual action) that cleared the failure;
+	// RANone when nothing did.
+	Action core.RecoveryAction
+	// TTR is the cumulative time spent recovering, including failed
+	// attempts.
+	TTR sim.Time
+	// Recovered reports whether the failure was cleared.
+	Recovered bool
+	// Attempts counts the actions tried.
+	Attempts int
+}
+
+// Cascade executes recovery for one host under a scenario policy.
+type Cascade struct {
+	host   *stack.Host
+	timing *Timing
+	rng    *rand.Rand
+}
+
+// NewCascade builds the recovery engine for a host.
+func NewCascade(host *stack.Host, rng *rand.Rand) *Cascade {
+	if host == nil {
+		panic("recovery: nil host")
+	}
+	return &Cascade{host: host, timing: NewTiming(host.OS, rng), rng: rng}
+}
+
+// Timing exposes the duration model (for the dependability analysis).
+func (c *Cascade) Timing() *Timing { return c.timing }
+
+// applySideEffects performs the state changes of an action.
+func (c *Cascade) applySideEffects(a core.RecoveryAction) {
+	switch a {
+	case core.RAIPSocketReset:
+		// Socket teardown/rebuild touches no stack state.
+	case core.RABTConnectionReset:
+		c.host.BNEP.DestroyChannel()
+	case core.RABTStackReset:
+		c.host.ResetStack()
+	case core.RAAppRestart, core.RAMultiAppRestart:
+		c.host.BNEP.DestroyChannel()
+	case core.RASystemReboot, core.RAMultiSystemReboot:
+		c.host.Reboot()
+	}
+}
+
+// Run executes the scenario's recovery policy for a failure of type f whose
+// persistence depth is sampled internally. For data mismatch (no recovery
+// defined) it returns an unrecovered outcome with zero TTR.
+func (c *Cascade) Run(scenario Scenario, f core.UserFailure) Outcome {
+	depth, ok := SampleDepth(f, c.rng)
+	if !ok {
+		return Outcome{Action: core.RANone, Recovered: false}
+	}
+	return c.RunWithDepth(scenario, depth)
+}
+
+// RunWithDepth executes the policy against a known persistence depth.
+func (c *Cascade) RunWithDepth(scenario Scenario, depth core.RecoveryAction) Outcome {
+	var out Outcome
+	try := func(a core.RecoveryAction, dur sim.Time) bool {
+		out.Attempts++
+		out.TTR += dur
+		if a >= depth {
+			c.applySideEffects(a)
+			out.Action = a
+			out.Recovered = true
+			return true
+		}
+		return false
+	}
+
+	switch scenario {
+	case ScenarioRebootOnly:
+		// The user reboots; a depth-7 failure needs repeated reboots.
+		if try(core.RASystemReboot, c.timing.UserRebootDuration()) {
+			return out
+		}
+		try(core.RAMultiSystemReboot, c.timing.Duration(core.RAMultiSystemReboot))
+		return out
+	case ScenarioAppReboot:
+		if try(core.RAAppRestart, c.timing.Duration(core.RAAppRestart)) {
+			return out
+		}
+		if try(core.RASystemReboot, c.timing.UserRebootDuration()) {
+			return out
+		}
+		try(core.RAMultiSystemReboot, c.timing.Duration(core.RAMultiSystemReboot))
+		return out
+	case ScenarioSIRAs, ScenarioSIRAsMasking:
+		for _, a := range core.RecoveryActions() {
+			if try(a, c.timing.Duration(a)) {
+				return out
+			}
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("recovery: unknown scenario %v", scenario))
+	}
+}
+
+// Masking is the set of error-masking strategies of §4. All strategies are
+// enabled in the SIRAs+masking scenario.
+type Masking struct {
+	// SDPBeforeConnect always performs the SDP search before a PAN
+	// connection, avoiding the stale-cache failures (96.5 % of PAN connect
+	// failures).
+	SDPBeforeConnect bool
+	// BindWait waits out T_C and T_H before binding (with the instrumented
+	// hotplug notification), eliminating bind failures.
+	BindWait bool
+	// RetrySwitchRole repeats a failed switch-role command up to 2 times,
+	// 1 s apart — enough for the underlying transient to disappear.
+	RetrySwitchRole bool
+	// RetryNAPNotFound applies the same repetition to NAP-not-found.
+	RetryNAPNotFound bool
+	// RetryTransient extends the repetition strategy to the high-volume
+	// failure classes (connect, SDP search, PAN connect, packet loss): the
+	// masking-instrumented stack cleans transient state and retries the
+	// operation. Only shallow causes clear this way — a retry masks the
+	// failure exactly when its persistence depth is within MaskDepthLimit,
+	// so deep (severe) failures survive masking, which is why the paper's
+	// masked-scenario MTTR rises while its MTTF triples.
+	RetryTransient bool
+}
+
+// maskPolicy bounds what the retry masking can clear per failure class:
+// Limit is the deepest persistence a masked retry overcomes, Effectiveness
+// the probability the retry sequence actually lands it. The packet-loss /
+// SDP / PAN retries operate at the connection level (anything a lightweight
+// in-stack cleanup fixes); the connect retry — the enhanced API's longer
+// timeout plus transparent session re-establishment — reaches app-restart
+// depth but only clears about half its targets, which is what leaves the
+// masked scenario's residual failures severe (the paper's MTTR rises from
+// 70.94 s to 120.84 s for exactly this reason).
+var maskPolicy = map[core.UserFailure]struct {
+	Limit         core.RecoveryAction
+	Effectiveness float64
+}{
+	core.UFPacketLoss:       {core.RABTStackReset, 0.82},
+	core.UFSDPSearchFailed:  {core.RAAppRestart, 0.85},
+	core.UFPANConnectFailed: {core.RABTStackReset, 0.85},
+	core.UFConnectFailed:    {core.RASystemReboot, 0.78},
+}
+
+// TryMask samples a failure's persistence depth and decides whether the
+// retry masking clears it. It returns the sampled depth (for the cascade,
+// when unmasked) and the masking verdict. Failures without a depth model
+// (data mismatch) or without a masking policy are never masked.
+func TryMask(f core.UserFailure, rng *rand.Rand) (depth core.RecoveryAction, masked bool) {
+	depth, ok := SampleDepth(f, rng)
+	if !ok {
+		return core.RANone, false
+	}
+	pol, ok := maskPolicy[f]
+	if !ok {
+		return depth, false
+	}
+	if depth <= pol.Limit && rng.Float64() < pol.Effectiveness {
+		return depth, true
+	}
+	return depth, false
+}
+
+// AllMasking returns the full strategy set.
+func AllMasking() Masking {
+	return Masking{SDPBeforeConnect: true, BindWait: true,
+		RetrySwitchRole: true, RetryNAPNotFound: true, RetryTransient: true}
+}
+
+// NoMasking returns the empty strategy set.
+func NoMasking() Masking { return Masking{} }
+
+// MaskRetries is the paper's retry count for the masking strategies.
+const MaskRetries = 2
+
+// MaskRetryWait is the pause between masking retries.
+const MaskRetryWait = sim.Second
+
+// Retry runs op up to 1+retries times, pausing wait between attempts, and
+// returns the final error (nil on success) plus the time consumed by the
+// pauses (the op itself reports its own durations). successOn reports which
+// attempt succeeded (1-based; 0 if none).
+func Retry(retries int, wait sim.Time, op func() error) (err error, waited sim.Time, successOn int) {
+	for attempt := 1; attempt <= retries+1; attempt++ {
+		if err = op(); err == nil {
+			return nil, waited, attempt
+		}
+		if attempt <= retries {
+			waited += wait
+		}
+	}
+	return err, waited, 0
+}

@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Kernel is the discrete-event simulation engine. Events are callbacks
+// scheduled at virtual instants; Run drains the calendar in timestamp order,
+// breaking ties by scheduling order so execution is deterministic.
+//
+// The zero value is not usable; construct with NewKernel.
+type Kernel struct {
+	now     Time
+	cal     calendar
+	seq     uint64
+	stopped bool
+	limit   Time
+
+	// executed counts delivered events, for tests and progress reporting.
+	executed uint64
+}
+
+// NewKernel returns a kernel with an empty calendar at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{limit: Never}
+}
+
+// Now reports the current virtual instant.
+func (k *Kernel) Now() Time { return k.now }
+
+// Executed reports how many events have been delivered so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Pending reports how many events are waiting in the calendar.
+func (k *Kernel) Pending() int { return len(k.cal) }
+
+// Timer is a handle to a scheduled event. Stop cancels delivery; a stopped
+// or already-delivered timer reports Active() == false. For periodic timers
+// (Every), Stop also prevents re-arming.
+type Timer struct {
+	ev      *event
+	stopped bool
+}
+
+// Active reports whether the timer is still scheduled for delivery.
+func (t *Timer) Active() bool {
+	return t != nil && !t.stopped && t.ev != nil && !t.ev.dead
+}
+
+// Stop cancels the timer. It reports whether the call prevented a pending
+// delivery. Stopping from inside the timer's own callback returns false (the
+// delivery already happened) but still halts a periodic series.
+func (t *Timer) Stop() bool {
+	if t == nil || t.stopped {
+		return false
+	}
+	t.stopped = true
+	if t.ev != nil && !t.ev.dead {
+		t.ev.dead = true
+		t.ev = nil
+		return true
+	}
+	t.ev = nil
+	return false
+}
+
+// When reports the instant the timer will fire, or Never if inactive.
+func (t *Timer) When() Time {
+	if !t.Active() {
+		return Never
+	}
+	return t.ev.at
+}
+
+// At schedules fn to run at instant at. Scheduling in the past (before Now)
+// panics: in a discrete-event simulation that is always a logic error, and
+// silently clamping it would mask causality bugs.
+func (k *Kernel) At(at Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if at < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
+	}
+	k.seq++
+	ev := &event{at: at, seq: k.seq, fn: fn}
+	heap.Push(&k.cal, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current instant. Negative delays
+// panic, zero delays run after the current event completes.
+func (k *Kernel) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: After called with negative delay %v", d))
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Every schedules fn to run every period, starting one period from now, and
+// returns a Timer whose Stop cancels the series. A non-positive period
+// panics.
+func (k *Kernel) Every(period Time, fn func()) *Timer {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Every called with non-positive period %v", period))
+	}
+	t := &Timer{}
+	var tick func()
+	tick = func() {
+		fn()
+		// Re-arm unless the handle was stopped (possibly from inside fn).
+		if !t.stopped {
+			t.ev = k.After(period, tick).ev
+		}
+	}
+	t.ev = k.After(period, tick).ev
+	return t
+}
+
+// Step delivers the next event, if any, advancing the clock to its instant.
+// It reports whether an event was delivered.
+func (k *Kernel) Step() bool {
+	for len(k.cal) > 0 {
+		ev := heap.Pop(&k.cal).(*event)
+		if ev.dead {
+			continue
+		}
+		if ev.at > k.limit {
+			// Past the horizon: push back and report exhaustion.
+			heap.Push(&k.cal, ev)
+			return false
+		}
+		k.now = ev.at
+		k.executed++
+		ev.dead = true
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run delivers events until the calendar is empty or Stop is called.
+func (k *Kernel) Run() {
+	k.stopped = false
+	for !k.stopped && k.Step() {
+	}
+}
+
+// RunUntil delivers events with timestamps <= horizon, then advances the
+// clock to the horizon. Events beyond the horizon stay scheduled, so the
+// simulation can be resumed with a later horizon.
+func (k *Kernel) RunUntil(horizon Time) {
+	if horizon < k.now {
+		panic(fmt.Sprintf("sim: RunUntil horizon %v before now %v", horizon, k.now))
+	}
+	k.stopped = false
+	k.limit = horizon
+	for !k.stopped && k.Step() {
+	}
+	k.limit = Never
+	if !k.stopped && k.now < horizon {
+		k.now = horizon
+	}
+}
+
+// Stop makes the current Run/RunUntil return after the in-flight event
+// completes. It is safe to call from inside an event callback.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// event is a calendar entry. dead marks cancelled (or delivered) events that
+// are lazily discarded when popped, which keeps cancellation O(1).
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	idx  int
+	dead bool
+}
+
+// calendar is a min-heap of events ordered by (at, seq).
+type calendar []*event
+
+func (c calendar) Len() int { return len(c) }
+
+func (c calendar) Less(i, j int) bool {
+	if c[i].at != c[j].at {
+		return c[i].at < c[j].at
+	}
+	return c[i].seq < c[j].seq
+}
+
+func (c calendar) Swap(i, j int) {
+	c[i], c[j] = c[j], c[i]
+	c[i].idx = i
+	c[j].idx = j
+}
+
+func (c *calendar) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*c)
+	*c = append(*c, ev)
+}
+
+func (c *calendar) Pop() any {
+	old := *c
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*c = old[:n-1]
+	return ev
+}

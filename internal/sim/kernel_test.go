@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Time
+		want time.Duration
+	}{
+		{"zero", 0, 0},
+		{"slot", Slot, 625 * time.Microsecond},
+		{"second", Second, time.Second},
+		{"day", Day, 24 * time.Hour},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.in.Duration(); got != tt.want {
+				t.Errorf("Duration() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	for _, s := range []float64{0, 0.5, 1, 330, 7366, 117893} {
+		got := Seconds(s).Seconds()
+		if diff := got - s; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("Seconds(%v).Seconds() = %v", s, got)
+		}
+	}
+}
+
+func TestSlots(t *testing.T) {
+	if got := (3 * Slot).Slots(); got != 3 {
+		t.Errorf("Slots() = %d, want 3", got)
+	}
+	if got := (3*Slot - 1).Slots(); got != 2 {
+		t.Errorf("Slots() = %d, want 2", got)
+	}
+}
+
+func TestWallRoundTrip(t *testing.T) {
+	at := 42 * Day
+	ts := Wall(at)
+	back, err := ParseWall(ts)
+	if err != nil {
+		t.Fatalf("ParseWall: %v", err)
+	}
+	if back != at {
+		t.Errorf("round trip = %v, want %v", back, at)
+	}
+	if _, err := ParseWall(Epoch.Add(-time.Hour)); err == nil {
+		t.Error("ParseWall before epoch: want error")
+	}
+}
+
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.At(30*Second, func() { order = append(order, 3) })
+	k.At(10*Second, func() { order = append(order, 1) })
+	k.At(20*Second, func() { order = append(order, 2) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("delivery order = %v, want [1 2 3]", order)
+	}
+	if k.Now() != 30*Second {
+		t.Errorf("Now() = %v, want 30s", k.Now())
+	}
+}
+
+func TestKernelTieBreakBySchedulingOrder(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(Second, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-broken order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	tm := k.After(Second, func() { fired = true })
+	if !tm.Active() {
+		t.Fatal("timer should be active before Run")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop should report cancellation")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	k.Run()
+	if fired {
+		t.Error("cancelled timer fired")
+	}
+}
+
+func TestKernelSchedulePastPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		k.At(0, func() {})
+	})
+	k.Run()
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	var hits []Time
+	k.After(Second, func() {
+		hits = append(hits, k.Now())
+		k.After(Second, func() { hits = append(hits, k.Now()) })
+	})
+	k.Run()
+	if len(hits) != 2 || hits[0] != Second || hits[1] != 2*Second {
+		t.Errorf("hits = %v, want [1s 2s]", hits)
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	for i := 1; i <= 5; i++ {
+		at := Time(i) * Second
+		k.At(at, func() { fired = append(fired, at) })
+	}
+	k.RunUntil(3 * Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events by 3s, want 3", len(fired))
+	}
+	if k.Now() != 3*Second {
+		t.Errorf("Now() = %v, want 3s", k.Now())
+	}
+	k.RunUntil(10 * Second)
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(fired))
+	}
+	if k.Now() != 10*Second {
+		t.Errorf("Now() = %v, want 10s (horizon advance)", k.Now())
+	}
+}
+
+func TestKernelStopFromCallback(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.At(Time(i)*Second, func() {
+			count++
+			if count == 4 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if count != 4 {
+		t.Errorf("count = %d, want 4 (stopped mid-run)", count)
+	}
+	// Resume drains the rest.
+	k.Run()
+	if count != 10 {
+		t.Errorf("count after resume = %d, want 10", count)
+	}
+}
+
+func TestKernelEvery(t *testing.T) {
+	k := NewKernel()
+	var ticks []Time
+	var tm *Timer
+	tm = k.Every(Second, func() {
+		ticks = append(ticks, k.Now())
+		if len(ticks) == 3 {
+			tm.Stop()
+		}
+	})
+	k.RunUntil(10 * Second)
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %v, want 3 entries", ticks)
+	}
+	for i, at := range ticks {
+		if want := Time(i+1) * Second; at != want {
+			t.Errorf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestKernelEveryPanicsOnZeroPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Every(0) should panic")
+		}
+	}()
+	NewKernel().Every(0, func() {})
+}
+
+func TestTimerWhen(t *testing.T) {
+	k := NewKernel()
+	tm := k.After(5*Second, func() {})
+	if tm.When() != 5*Second {
+		t.Errorf("When() = %v, want 5s", tm.When())
+	}
+	tm.Stop()
+	if tm.When() != Never {
+		t.Errorf("When() after Stop = %v, want Never", tm.When())
+	}
+}
+
+// TestKernelHeapProperty drives the calendar with random schedules and
+// verifies delivery is globally time-ordered.
+func TestKernelHeapProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		k := NewKernel()
+		var seen []Time
+		for _, d := range delays {
+			at := Time(d) * Millisecond
+			k.At(at, func() { seen = append(seen, at) })
+		}
+		k.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(delays)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRigDeterminism(t *testing.T) {
+	a := NewRig(7).Stream("fault.hci")
+	b := NewRig(7).Stream("fault.hci")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed+name produced different streams")
+		}
+	}
+}
+
+func TestRigStreamIndependence(t *testing.T) {
+	rig := NewRig(7)
+	a := rig.Stream("a")
+	b := rig.Stream("b")
+	equal := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			equal++
+		}
+	}
+	if equal > 2 {
+		t.Errorf("streams a and b coincided %d/64 times", equal)
+	}
+}
+
+func TestRigStreamIdentity(t *testing.T) {
+	rig := NewRig(1)
+	if rig.Stream("x") != rig.Stream("x") {
+		t.Error("Stream should return the same object for the same name")
+	}
+	names := rig.StreamNames()
+	if len(names) != 1 || names[0] != "x" {
+		t.Errorf("StreamNames = %v, want [x]", names)
+	}
+}
+
+func TestRigForkIndependence(t *testing.T) {
+	rig := NewRig(9)
+	f1 := rig.Fork("testbed-1").Stream("s")
+	f2 := rig.Fork("testbed-2").Stream("s")
+	equal := 0
+	for i := 0; i < 64; i++ {
+		if f1.Uint64() == f2.Uint64() {
+			equal++
+		}
+	}
+	if equal > 2 {
+		t.Errorf("forked rigs coincided %d/64 times", equal)
+	}
+}
+
+func TestRigForkDeterminism(t *testing.T) {
+	a := NewRig(9).Fork("tb").Stream("s").Uint64()
+	b := NewRig(9).Fork("tb").Stream("s").Uint64()
+	if a != b {
+		t.Error("fork determinism violated")
+	}
+}
+
+func TestWorld(t *testing.T) {
+	w := NewWorld(13)
+	if w.Seed() != 13 {
+		t.Errorf("Seed() = %d, want 13", w.Seed())
+	}
+	var r *rand.Rand = w.RNG("x")
+	if r == nil {
+		t.Fatal("RNG returned nil")
+	}
+	fired := false
+	w.After(Second, func() { fired = true })
+	w.Run()
+	if !fired {
+		t.Error("world kernel did not deliver event")
+	}
+}

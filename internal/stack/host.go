@@ -1,0 +1,319 @@
+package stack
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/baseband"
+	"repro/internal/bnep"
+	"repro/internal/core"
+	"repro/internal/hci"
+	"repro/internal/l2cap"
+	"repro/internal/pan"
+	"repro/internal/radio"
+	"repro/internal/sdp"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Config gathers the per-layer configurations of one host.
+type Config struct {
+	HCI     hci.Config
+	L2CAP   l2cap.Config
+	BNEP    bnep.Config
+	PAN     pan.Config
+	SDP     sdp.ServerConfig
+	Hotplug HotplugConfig
+	ARQ     baseband.ARQConfig
+	Radio   radio.Config
+
+	// TCWindow is the interval after PAN connect during which the L2CAP
+	// handle is not yet valid for socket operations (the paper's T_C).
+	TCWindow sim.Time
+
+	// LatentDefectProb is the per-connection probability of a setup-time
+	// latent defect (Figure 3b infant mortality); LatentMeanPackets is the
+	// mean packet index at which it strikes (geometric).
+	LatentDefectProb  float64
+	LatentMeanPackets float64
+}
+
+// DefaultHostConfig returns a calibrated per-host configuration for a PANU
+// at the given antenna distance.
+func DefaultHostConfig(distanceM float64) Config {
+	return Config{
+		HCI:               hci.DefaultConfig(),
+		L2CAP:             l2cap.DefaultConfig(),
+		BNEP:              bnep.DefaultConfig(),
+		PAN:               pan.DefaultConfig(),
+		SDP:               sdp.DefaultServerConfig(),
+		Hotplug:           DefaultHotplugConfig(),
+		ARQ:               baseband.DefaultARQConfig(),
+		Radio:             radio.DefaultConfig(distanceM),
+		TCWindow:          60 * sim.Millisecond,
+		LatentDefectProb:  0.005,
+		LatentMeanPackets: 120,
+	}
+}
+
+// Host is one complete Bluetooth node of a testbed.
+type Host struct {
+	Node string
+	OS   OSInfo
+	// DistanceM is the antenna distance from the NAP (0 for the NAP).
+	DistanceM float64
+	// IsPDA marks the BCSP-transport handhelds (iPAQ, Zaurus).
+	IsPDA bool
+
+	World *sim.World
+
+	Transport transport.Transport
+	HCI       *hci.Host
+	L2CAP     *l2cap.Mux
+	BNEP      *bnep.Service
+	PANU      *pan.PANU
+	SDPClient *sdp.Client
+	SDPServer *sdp.Server // non-nil on the NAP
+	NAP       *pan.NAP    // non-nil on the NAP
+	Hotplug   *Hotplug
+
+	Link *radio.Link           // PANU→NAP RF link (nil on the NAP)
+	Tx   *baseband.Transmitter // data plane over Link (nil on the NAP)
+
+	cfg  Config
+	rng  *rand.Rand
+	sink hci.Sink
+
+	// Reboot/restart bookkeeping for the SIRAs.
+	upSince sim.Time
+	reboots int
+}
+
+// Sink is re-exported for constructors: it receives (code, op) pairs and is
+// expected to stamp them with the host's identity and current time.
+type Sink = hci.Sink
+
+// NewHost assembles a full host. sink receives every system-level error the
+// stack raises; nextConnID is the testbed-wide connection counter; napRef
+// wires PANU hosts to their NAP (nil while constructing the NAP itself).
+func NewHost(cfg Config, world *sim.World, node string, os OSInfo, distanceM float64,
+	isPDA, isNAP bool, tr transport.Transport, nextConnID *uint64, sink Sink) *Host {
+	if world == nil || tr == nil {
+		panic("stack: nil world or transport")
+	}
+	h := &Host{
+		Node:      node,
+		OS:        os,
+		DistanceM: distanceM,
+		IsPDA:     isPDA,
+		World:     world,
+		Transport: tr,
+		cfg:       cfg,
+		rng:       world.RNG("stack." + node),
+		sink:      sink,
+	}
+	clock := func() sim.Time { return world.Now() }
+	h.HCI = hci.NewHost(cfg.HCI, node, tr, clock, world.RNG("hci."+node), sink)
+	h.L2CAP = l2cap.NewMux(cfg.L2CAP, node, h.HCI, world.RNG("l2cap."+node), sink)
+	h.BNEP = bnep.NewService(cfg.BNEP, node, clock, world.RNG("bnep."+node), sink)
+	h.Hotplug = NewHotplug(cfg.Hotplug, world, node, os.HALDefect, world.RNG("hotplug."+node), sink)
+	h.SDPClient = sdp.NewClient(node, h.L2CAP, sink)
+	if isNAP {
+		h.SDPServer = sdp.NewServer(cfg.SDP, node, world.RNG("sdp."+node), sink)
+		h.NAP = pan.NewNAP(node, h.HCI, h.SDPServer)
+	} else {
+		h.PANU = pan.NewPANU(cfg.PAN, node, h.HCI, h.L2CAP, h.BNEP,
+			nextConnID, world.RNG("pan."+node), sink)
+		h.Link = radio.NewLink(cfg.Radio, world.RNG("radio."+node))
+		h.Tx = baseband.NewTransmitter(cfg.ARQ, h.Link, world.RNG("arq."+node))
+	}
+	return h
+}
+
+// Config returns the host's configuration.
+func (h *Host) Config() Config { return h.cfg }
+
+// Uptime reports the time since the last (re)boot.
+func (h *Host) Uptime() sim.Time { return h.World.Now() - h.upSince }
+
+// Reboots reports how many reboots the host has performed.
+func (h *Host) Reboots() int { return h.reboots }
+
+// ResetStack clears BT stack state (the "BT stack reset" SIRA): HCI handles,
+// L2CAP channels and the BNEP interface all drop.
+func (h *Host) ResetStack() {
+	h.HCI.Reset()
+	h.L2CAP.Reset()
+	h.BNEP.DestroyChannel()
+}
+
+// Reboot models a full system reboot: stack state clears and the boot time
+// elapses (the caller schedules around the returned duration).
+func (h *Host) Reboot() sim.Time {
+	h.ResetStack()
+	h.reboots++
+	h.upSince = h.World.Now() + h.OS.BootTime
+	return h.OS.BootTime
+}
+
+// Pipe is the data plane of one PAN connection: it applies the connection's
+// latent-defect state, L2CAP data-phase faults, segmentation, and the ARQ.
+type Pipe struct {
+	Conn *pan.Conn
+	host *Host
+
+	// latentAt is the packet index at which the setup-time latent defect
+	// strikes (-1: no defect). Figure 3b's infant-mortality mechanism.
+	latentAt int
+	sent     int
+}
+
+// PacketOutcome classifies one workload packet transfer.
+type PacketOutcome int
+
+// Transfer outcomes, mirroring baseband outcomes plus the latent defect.
+const (
+	PacketDelivered PacketOutcome = iota
+	PacketLost
+	PacketCorrupted
+)
+
+// String names the outcome.
+func (o PacketOutcome) String() string {
+	switch o {
+	case PacketDelivered:
+		return "delivered"
+	case PacketLost:
+		return "lost"
+	case PacketCorrupted:
+		return "corrupted"
+	default:
+		return fmt.Sprintf("PacketOutcome(%d)", int(o))
+	}
+}
+
+// OpenPipe wraps a fresh PAN connection with its data-plane state, sampling
+// the latent-defect lottery for this connection.
+func (h *Host) OpenPipe(conn *pan.Conn) *Pipe {
+	if h.Tx == nil {
+		panic("stack: OpenPipe on a non-PANU host")
+	}
+	p := &Pipe{Conn: conn, host: h, latentAt: -1}
+	if h.cfg.LatentDefectProb > 0 && h.rng.Float64() < h.cfg.LatentDefectProb {
+		// Geometric packet index with the configured mean: young
+		// connections carry their setup defects into the first packets.
+		mean := h.cfg.LatentMeanPackets
+		if mean < 1 {
+			mean = 1
+		}
+		p.latentAt = int(h.rng.ExpFloat64() * mean)
+	}
+	return p
+}
+
+// Sent reports how many packets this pipe has carried.
+func (p *Pipe) Sent() int { return p.sent }
+
+// LatentAt exposes the defect index for tests (-1 when absent).
+func (p *Pipe) LatentAt() int { return p.latentAt }
+
+// SendPacket carries one workload packet of size bytes using packet type pt.
+// It returns the outcome and the elapsed transfer time.
+func (p *Pipe) SendPacket(pt core.PacketType, size int) (PacketOutcome, sim.Time) {
+	if size <= 0 {
+		size = 1
+	}
+	if size > bnep.MTU {
+		size = bnep.MTU
+	}
+	// Latent setup defect: strikes once at its packet index, breaking the
+	// link state (manifests as a loss; the connection usually needs a
+	// reset afterwards — the workload handles that).
+	if p.latentAt >= 0 && p.sent >= p.latentAt {
+		p.latentAt = -1
+		p.sent++
+		return PacketLost, 30 * sim.Second // the workload's loss timeout
+	}
+	// L2CAP data-phase framing fault.
+	if p.host.L2CAP.DataFault() {
+		p.sent++
+		return PacketLost, 30 * sim.Second
+	}
+	// Keep the shared piconet slot clock in step with virtual time, so
+	// fading states correlate with the campaign clock.
+	nowSlot := int64(p.host.World.Now() / sim.Slot)
+	if nowSlot > p.host.Tx.Slot() {
+		p.host.Tx.AdvanceTo(nowSlot)
+	}
+	var elapsed sim.Time
+	for _, seg := range l2cap.SegmentSDU(size, pt) {
+		res := p.host.Tx.Send(pt, seg.Len)
+		elapsed += res.Elapsed
+		switch res.Outcome {
+		case baseband.Dropped:
+			p.sent++
+			return PacketLost, elapsed + 30*sim.Second
+		case baseband.Corrupted:
+			p.sent++
+			return PacketCorrupted, elapsed
+		}
+	}
+	p.sent++
+	return PacketDelivered, elapsed
+}
+
+// Socket is the IP socket layer entry point for the bind race.
+type Socket struct {
+	Bound bool
+	iface *bnep.Interface
+}
+
+// Bind attempts to bind an IP socket to the connection's BNEP interface at
+// the current instant. The failure legs mirror the paper's analysis:
+//
+//   - before T_C has elapsed the L2CAP handle is invalid → HCI
+//     "command for unknown connection handle";
+//   - after T_C but before the hotplug configuration completes → the
+//     interface is missing or unconfigured (BNEP module evidence; if the
+//     hotplug event was lost the HAL timeout will land in the log too).
+func (h *Host) Bind(conn *pan.Conn, connectedAt sim.Time) (*Socket, error) {
+	now := h.World.Now()
+	if conn == nil || conn.Iface == nil {
+		return nil, core.NewSimError(core.CodeBNEPModuleMissing, "socket.bind", h.Node)
+	}
+	if now < connectedAt+h.cfg.TCWindow {
+		if h.sink != nil {
+			h.sink(core.CodeHCIInvalidHandle, "socket.bind")
+		}
+		return nil, core.NewSimError(core.CodeHCIInvalidHandle, "socket.bind", h.Node)
+	}
+	if !conn.Iface.Configured {
+		if h.sink != nil {
+			h.sink(core.CodeBNEPModuleMissing, "socket.bind")
+		}
+		return nil, core.NewSimError(core.CodeBNEPModuleMissing, "socket.bind", h.Node)
+	}
+	return &Socket{Bound: true, iface: conn.Iface}, nil
+}
+
+// WaitForBind is the masking strategy for "Bind failed": it reports the
+// extra time the instrumented API must wait until both T_C and T_H have
+// elapsed, kicking the hotplug daemon if the event was lost. The caller
+// advances virtual time by the returned duration and then binds.
+func (h *Host) WaitForBind(conn *pan.Conn, connectedAt sim.Time) sim.Time {
+	now := h.World.Now()
+	var wait sim.Time
+	if tc := connectedAt + h.cfg.TCWindow; now < tc {
+		wait = tc - now
+	}
+	if conn != nil && conn.Iface != nil && !conn.Iface.Configured {
+		h.Hotplug.Kick()
+		// Conservative bound: twice the defect-path configuration delay,
+		// which dominates the jittered worst case (1.25x).
+		d := sim.Time(2 * float64(h.cfg.Hotplug.ConfigDelay) * h.cfg.Hotplug.DefectDelayFactor)
+		if d > wait {
+			wait = d
+		}
+	}
+	return wait
+}

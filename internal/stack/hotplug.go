@@ -1,0 +1,186 @@
+// Package stack composes one complete Bluetooth host of the testbed: HCI,
+// L2CAP, SDP, BNEP and PAN layers over a transport, the OS model with its
+// hotplug/HAL daemon, the IP socket layer whose bind() races interface
+// configuration, and the data-plane pipe that carries BlueTest transfers.
+//
+// The package owns two of the paper's failure mechanisms end to end:
+//
+//   - "Bind failed": the PAN-connect API is not synchronous with T_C (L2CAP
+//     handle validity) and T_H (BNEP interface configuration by hotplug), so
+//     an immediate bind races both intervals. Hosts carrying the HAL defect
+//     the paper traced to Fedora's new Hardware Abstraction Layer (Azzurro)
+//     and to Windows (Win) lose or delay hotplug events, which is why bind
+//     failures appear only on those two machines (Figure 4);
+//   - connection "infant mortality" (Figure 3b): connection setup can leave
+//     latent defects (corrupted stack structures) that surface within the
+//     first packets of a transfer.
+package stack
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/bnep"
+	"repro/internal/core"
+	"repro/internal/hci"
+	"repro/internal/sim"
+)
+
+// OSInfo describes a host's operating system, per the paper's Table 1.
+type OSInfo struct {
+	Family       string // "Linux" or "Windows"
+	Distribution string // e.g. "Mandrake", "Fedora", "Familiar 0.8.1"
+	Kernel       string // e.g. "2.4.21-0.13mdk"
+
+	// HALDefect marks the defective hotplug/HAL behaviour observed on
+	// Azzurro (Fedora) and Win: hotplug events get delayed or lost.
+	HALDefect bool
+
+	// BootTime is the reboot duration used by the system-reboot SIRAs.
+	BootTime sim.Time
+
+	// AppRestartTime is the BlueTest restart duration on this OS.
+	AppRestartTime sim.Time
+}
+
+// HotplugConfig parameterises the hotplug/HAL daemon. The HAL defect is
+// intermittent: most interface creations configure normally even on
+// defective hosts, but occasionally the event is served late (delay x
+// DefectDelayFactor) or lost outright — those occasions are the bind
+// failures of Figure 4.
+type HotplugConfig struct {
+	// ConfigDelay is the healthy-path delay between interface creation and
+	// configuration (the OS half of T_H).
+	ConfigDelay sim.Time
+
+	// DefectDelayFactor multiplies ConfigDelay when the defect manifests as
+	// a late event.
+	DefectDelayFactor float64
+
+	// DefectExtendProb is the per-creation probability (on HAL-defective
+	// hosts only) that the event is served late.
+	DefectExtendProb float64
+
+	// DefectLossProb is the per-creation probability (defective hosts only)
+	// that the event is lost outright; the HAL daemon then times out.
+	DefectLossProb float64
+
+	// HALTimeout is how long the HAL daemon waits before logging its
+	// timeout when the event was lost.
+	HALTimeout sim.Time
+}
+
+// DefaultHotplugConfig returns calibrated hotplug parameters.
+func DefaultHotplugConfig() HotplugConfig {
+	return HotplugConfig{
+		ConfigDelay:       80 * sim.Millisecond,
+		DefectDelayFactor: 14,
+		DefectExtendProb:  1.5e-4,
+		DefectLossProb:    4e-5,
+		HALTimeout:        10 * sim.Second,
+	}
+}
+
+// Validate reports configuration errors.
+func (c HotplugConfig) Validate() error {
+	switch {
+	case c.ConfigDelay <= 0 || c.HALTimeout <= 0:
+		return fmt.Errorf("stack: non-positive hotplug timing")
+	case c.DefectDelayFactor < 1:
+		return fmt.Errorf("stack: defect delay factor %v < 1", c.DefectDelayFactor)
+	case c.DefectExtendProb < 0 || c.DefectExtendProb > 1 ||
+		c.DefectLossProb < 0 || c.DefectLossProb > 1:
+		return fmt.Errorf("stack: hotplug probability out of range")
+	default:
+		return nil
+	}
+}
+
+// Hotplug is the hotplug/HAL daemon of one host: it configures BNEP
+// interfaces after creation and logs HAL timeouts when events are lost.
+type Hotplug struct {
+	cfg    HotplugConfig
+	world  *sim.World
+	node   string
+	defect bool
+	rng    *rand.Rand
+	sink   hci.Sink
+
+	timeouts  int
+	lostIface *bnep.Interface
+}
+
+// NewHotplug builds the daemon for a host.
+func NewHotplug(cfg HotplugConfig, world *sim.World, node string, defect bool, rng *rand.Rand, sink hci.Sink) *Hotplug {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if world == nil {
+		panic("stack: nil world")
+	}
+	return &Hotplug{cfg: cfg, world: world, node: node, defect: defect, rng: rng, sink: sink}
+}
+
+// Timeouts reports the count of HAL timeouts logged.
+func (h *Hotplug) Timeouts() int { return h.timeouts }
+
+// delay reports the configuration delay, late reports whether the defect
+// manifested as a late event this time.
+func (h *Hotplug) delay(late bool) sim.Time {
+	d := h.cfg.ConfigDelay
+	if late {
+		d = sim.Time(float64(d) * h.cfg.DefectDelayFactor)
+	}
+	// +-25% jitter keeps the race probabilistic rather than a step function.
+	jitter := 0.75 + h.rng.Float64()*0.5
+	return sim.Time(float64(d) * jitter)
+}
+
+// OnCreated reacts to a freshly created BNEP interface: normally it
+// schedules the configuration event after its delay; when the intermittent
+// HAL defect manifests, the event is either served late or lost — a lost
+// event schedules the HAL timeout log instead and leaves the interface
+// unconfigured until a Kick.
+func (h *Hotplug) OnCreated(iface *bnep.Interface) {
+	if iface == nil {
+		return
+	}
+	late := false
+	if h.defect {
+		switch u := h.rng.Float64(); {
+		case u < h.cfg.DefectLossProb:
+			h.lostIface = iface
+			h.world.After(h.cfg.HALTimeout, func() {
+				// Only log if the interface is still waiting (a Kick or a
+				// teardown may have intervened).
+				if h.lostIface == iface && !iface.Configured {
+					h.timeouts++
+					if h.sink != nil {
+						h.sink(core.CodeHotplugTimeout, "hotplug.wait_event")
+					}
+				}
+			})
+			return
+		case u < h.cfg.DefectLossProb+h.cfg.DefectExtendProb:
+			late = true
+		}
+	}
+	h.world.After(h.delay(late), func() {
+		iface.Configured = true
+	})
+}
+
+// Kick retries configuration of a lost interface (the masking strategy's
+// instrumented hotplug notification path). It reports whether a retry was
+// actually pending.
+func (h *Hotplug) Kick() bool {
+	if h.lostIface == nil || h.lostIface.Configured {
+		return false
+	}
+	iface := h.lostIface
+	h.lostIface = nil
+	h.world.After(h.cfg.ConfigDelay, func() {
+		iface.Configured = true
+	})
+	return true
+}

@@ -1,0 +1,265 @@
+// Package testbed assembles and runs the paper's experimental setup: two
+// heterogeneous 7-node piconets (one driven by the Random workload, one by
+// the Realistic workload) that operated 24/7 from June 2004, plus the
+// special fixed-length experiment of Figure 3b (two machines, two months).
+//
+// A testbed owns its simulation world, its hosts (built from the device
+// catalogue), per-node Test/System logs, and one BlueTest client per PANU.
+// Campaigns run both testbeds for a virtual duration and gather every log
+// into a Results bundle that the coalescence/analysis pipeline consumes.
+// The mid-campaign hardware replacement of the paper (both testbeds were
+// swapped for identically configured ones to reduce aging) is modelled as a
+// scheduled maintenance reboot of every node.
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/logging"
+	"repro/internal/recovery"
+	"repro/internal/sim"
+	"repro/internal/stack"
+	"repro/internal/workload"
+)
+
+// Options configures one testbed.
+type Options struct {
+	// Name labels the testbed ("random", "realistic", "fixed").
+	Name string
+	// Seed roots the testbed's deterministic randomness.
+	Seed uint64
+	// Kind selects the workload.
+	Kind core.WorkloadKind
+	// Scenario selects the recovery regime (Table 4 column).
+	Scenario recovery.Scenario
+	// Nodes optionally restricts the PANUs (the fixed workload ran on Verde
+	// and Win only). Empty means all six.
+	Nodes []string
+	// MutateHost lets callers adjust per-host configurations (used by
+	// calibration tests). Called for every host including the NAP.
+	MutateHost func(name string, cfg *stack.Config)
+	// MutateWorkload adjusts the workload configuration per client.
+	MutateWorkload func(node string, cfg *workload.Config)
+	// ReplaceHardwareAt schedules the mid-campaign hardware replacement
+	// (0 disables it).
+	ReplaceHardwareAt sim.Time
+}
+
+// Testbed is one live 7-node piconet.
+type Testbed struct {
+	Name     string
+	World    *sim.World
+	NAP      *stack.Host
+	PANUs    []*stack.Host
+	Clients  []*workload.Client
+	TestLogs map[string]*logging.TestLog
+	SysLogs  map[string]*logging.SystemLog
+
+	opts   Options
+	connID uint64
+}
+
+// New assembles a testbed from the device catalogue.
+func New(opts Options) (*Testbed, error) {
+	if opts.Name == "" {
+		return nil, fmt.Errorf("testbed: no name")
+	}
+	if opts.Kind == core.WLUnknown {
+		return nil, fmt.Errorf("testbed: no workload kind")
+	}
+	tb := &Testbed{
+		Name:     opts.Name,
+		World:    sim.NewWorld(opts.Seed),
+		TestLogs: make(map[string]*logging.TestLog),
+		SysLogs:  make(map[string]*logging.SystemLog),
+		opts:     opts,
+	}
+	clock := func() sim.Time { return tb.World.Now() }
+
+	wanted := map[string]bool{}
+	for _, n := range opts.Nodes {
+		wanted[n] = true
+	}
+
+	for _, spec := range device.Catalog() {
+		if !spec.IsNAP && len(wanted) > 0 && !wanted[spec.Name] {
+			continue
+		}
+		sys := logging.NewSystemLog(spec.Name)
+		tb.SysLogs[spec.Name] = sys
+		cfg := spec.HostConfig()
+		if opts.MutateHost != nil {
+			opts.MutateHost(spec.Name, &cfg)
+		}
+		host := stack.NewHost(cfg, tb.World, spec.Name, spec.OS, spec.DistanceM,
+			spec.IsPDA, spec.IsNAP, spec.BuildTransport(tb.World), &tb.connID,
+			sys.Sink(opts.Name, clock, nil))
+		if spec.IsNAP {
+			tb.NAP = host
+			continue
+		}
+		tb.PANUs = append(tb.PANUs, host)
+		tb.TestLogs[spec.Name] = logging.NewTestLog(spec.Name)
+	}
+	if tb.NAP == nil {
+		return nil, fmt.Errorf("testbed: catalogue has no NAP")
+	}
+	if len(tb.PANUs) == 0 {
+		return nil, fmt.Errorf("testbed: no PANUs selected")
+	}
+
+	for _, host := range tb.PANUs {
+		wcfg := workloadConfig(opts, host.Node)
+		if opts.MutateWorkload != nil {
+			opts.MutateWorkload(host.Node, &wcfg)
+		}
+		client := workload.NewClient(wcfg, tb.World, host, tb.NAP, tb.TestLogs[host.Node])
+		tb.Clients = append(tb.Clients, client)
+	}
+	return tb, nil
+}
+
+// workloadConfig picks the per-kind default.
+func workloadConfig(opts Options, node string) workload.Config {
+	switch opts.Kind {
+	case core.WLRealistic:
+		return workload.DefaultRealistic(opts.Name, opts.Scenario)
+	case core.WLFixed:
+		return workload.DefaultFixed(opts.Name, opts.Scenario)
+	default:
+		return workload.DefaultRandom(opts.Name, opts.Scenario)
+	}
+}
+
+// Run starts every client and advances the world to the horizon.
+func (tb *Testbed) Run(duration sim.Time) {
+	for _, c := range tb.Clients {
+		c.Start()
+	}
+	if at := tb.opts.ReplaceHardwareAt; at > 0 && at < duration {
+		tb.World.At(at, tb.replaceHardware)
+	}
+	tb.World.RunUntil(duration)
+}
+
+// replaceHardware models the paper's mid-campaign testbed swap: every node
+// gets fresh hardware with identical configuration (a maintenance reboot;
+// no failure data is produced).
+func (tb *Testbed) replaceHardware() {
+	tb.NAP.ResetStack()
+	for _, h := range tb.PANUs {
+		h.Reboot()
+	}
+}
+
+// Results bundles a finished testbed's data for analysis.
+type Results struct {
+	Name     string
+	Duration sim.Time
+	NAPNode  string
+	// Reports holds every user-level report (including masked ones).
+	Reports []core.UserReport
+	// Entries holds every system-level entry from all nodes.
+	Entries []core.SystemEntry
+	// PerNodeReports/PerNodeEntries keep per-node views for the
+	// coalescence pipeline.
+	PerNodeReports map[string][]core.UserReport
+	PerNodeEntries map[string][]core.SystemEntry
+	// Counters keeps the per-client counters.
+	Counters map[string]*workload.Counters
+}
+
+// Results gathers the testbed's data after Run.
+func (tb *Testbed) Results() *Results {
+	res := &Results{
+		Name:           tb.Name,
+		Duration:       tb.World.Now(),
+		NAPNode:        tb.NAP.Node,
+		PerNodeReports: make(map[string][]core.UserReport),
+		PerNodeEntries: make(map[string][]core.SystemEntry),
+		Counters:       make(map[string]*workload.Counters),
+	}
+	for node, log := range tb.TestLogs {
+		reports := log.Snapshot()
+		res.PerNodeReports[node] = reports
+		res.Reports = append(res.Reports, reports...)
+	}
+	for node, log := range tb.SysLogs {
+		entries := log.Snapshot()
+		res.PerNodeEntries[node] = entries
+		res.Entries = append(res.Entries, entries...)
+	}
+	logging.SortUserReports(res.Reports)
+	logging.SortSystemEntries(res.Entries)
+	for _, c := range tb.Clients {
+		res.Counters[c.Node()] = c.Counters()
+	}
+	return res
+}
+
+// Campaign runs the paper's two testbeds.
+type Campaign struct {
+	Random    *Testbed
+	Realistic *Testbed
+}
+
+// NewCampaign builds both testbeds with derived seeds.
+func NewCampaign(seed uint64, scenario recovery.Scenario,
+	mutateHost func(name string, cfg *stack.Config)) (*Campaign, error) {
+	random, err := New(Options{
+		Name: "random", Seed: seed ^ 0x72616E64, Kind: core.WLRandom,
+		Scenario: scenario, MutateHost: mutateHost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	realistic, err := New(Options{
+		Name: "realistic", Seed: seed ^ 0x7265616C, Kind: core.WLRealistic,
+		Scenario: scenario, MutateHost: mutateHost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Campaign{Random: random, Realistic: realistic}, nil
+}
+
+// Run drives both testbeds for the duration (with the hardware replacement
+// at the midpoint, as in the paper) and returns their results.
+func (c *Campaign) Run(duration sim.Time) (randomRes, realisticRes *Results) {
+	c.Random.opts.ReplaceHardwareAt = duration / 2
+	c.Realistic.opts.ReplaceHardwareAt = duration / 2
+	c.Random.Run(duration)
+	c.Realistic.Run(duration)
+	return c.Random.Results(), c.Realistic.Results()
+}
+
+// MergedResults combines both testbeds' data (the paper's failure model and
+// Table 2/3 use data from both).
+func MergedResults(a, b *Results) *Results {
+	out := &Results{
+		Name:           a.Name + "+" + b.Name,
+		Duration:       a.Duration + b.Duration,
+		NAPNode:        a.NAPNode,
+		PerNodeReports: make(map[string][]core.UserReport),
+		PerNodeEntries: make(map[string][]core.SystemEntry),
+		Counters:       make(map[string]*workload.Counters),
+	}
+	for _, r := range []*Results{a, b} {
+		out.Reports = append(out.Reports, r.Reports...)
+		out.Entries = append(out.Entries, r.Entries...)
+		for k, v := range r.PerNodeReports {
+			out.PerNodeReports[r.Name+"/"+k] = v
+		}
+		for k, v := range r.PerNodeEntries {
+			out.PerNodeEntries[r.Name+"/"+k] = v
+		}
+		for k, v := range r.Counters {
+			out.Counters[r.Name+"/"+k] = v
+		}
+	}
+	logging.SortUserReports(out.Reports)
+	logging.SortSystemEntries(out.Entries)
+	return out
+}

@@ -1,0 +1,161 @@
+package testbed
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/recovery"
+	"repro/internal/sim"
+	"repro/internal/stack"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("empty options accepted")
+	}
+	if _, err := New(Options{Name: "x"}); err == nil {
+		t.Error("missing workload kind accepted")
+	}
+	if _, err := New(Options{Name: "x", Kind: core.WLRandom,
+		Nodes: []string{"nonexistent"}}); err == nil {
+		t.Error("empty PANU selection accepted")
+	}
+}
+
+func TestTestbedShape(t *testing.T) {
+	tb, err := New(Options{Name: "random", Seed: 1, Kind: core.WLRandom,
+		Scenario: recovery.ScenarioSIRAs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NAP == nil || tb.NAP.Node != "Giallo" {
+		t.Error("NAP missing")
+	}
+	if len(tb.PANUs) != 6 || len(tb.Clients) != 6 {
+		t.Errorf("PANUs/clients = %d/%d, want 6/6", len(tb.PANUs), len(tb.Clients))
+	}
+	if len(tb.SysLogs) != 7 {
+		t.Errorf("system logs = %d, want 7 (all nodes)", len(tb.SysLogs))
+	}
+	if len(tb.TestLogs) != 6 {
+		t.Errorf("test logs = %d, want 6 (PANUs only)", len(tb.TestLogs))
+	}
+}
+
+func TestNodeSubset(t *testing.T) {
+	tb, err := New(Options{Name: "fixed", Seed: 2, Kind: core.WLFixed,
+		Scenario: recovery.ScenarioSIRAs, Nodes: []string{"Verde", "Win"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.PANUs) != 2 {
+		t.Fatalf("PANUs = %d, want 2", len(tb.PANUs))
+	}
+	names := map[string]bool{}
+	for _, h := range tb.PANUs {
+		names[h.Node] = true
+	}
+	if !names["Verde"] || !names["Win"] {
+		t.Errorf("wrong nodes: %v", names)
+	}
+}
+
+func TestShortCampaignProducesData(t *testing.T) {
+	tb, err := New(Options{Name: "random", Seed: 3, Kind: core.WLRandom,
+		Scenario: recovery.ScenarioSIRAs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(6 * sim.Hour)
+	res := tb.Results()
+	if res.Duration < 6*sim.Hour {
+		t.Errorf("duration = %v", res.Duration)
+	}
+	totalCycles := 0
+	for _, c := range res.Counters {
+		totalCycles += c.Cycles
+	}
+	if totalCycles < 500 {
+		t.Errorf("only %d cycles across 6 nodes in 6 virtual hours", totalCycles)
+	}
+	if len(res.Reports) == 0 {
+		t.Error("no user reports with calibrated fault rates")
+	}
+	if len(res.Entries) == 0 {
+		t.Error("no system entries")
+	}
+	// Reports must be time-sorted and carry the testbed name.
+	for i, r := range res.Reports {
+		if r.Testbed != "random" {
+			t.Fatalf("report %d has testbed %q", i, r.Testbed)
+		}
+		if i > 0 && r.At < res.Reports[i-1].At {
+			t.Fatal("reports not sorted")
+		}
+	}
+}
+
+func TestMutateHostHook(t *testing.T) {
+	seen := map[string]bool{}
+	_, err := New(Options{Name: "random", Seed: 4, Kind: core.WLRandom,
+		Scenario: recovery.ScenarioSIRAs,
+		MutateHost: func(name string, cfg *stack.Config) {
+			seen[name] = true
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 7 {
+		t.Errorf("mutate hook saw %d hosts, want 7", len(seen))
+	}
+}
+
+func TestHardwareReplacementReboots(t *testing.T) {
+	tb, err := New(Options{Name: "random", Seed: 5, Kind: core.WLRandom,
+		Scenario: recovery.ScenarioSIRAs, ReplaceHardwareAt: sim.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(2 * sim.Hour)
+	for _, h := range tb.PANUs {
+		if h.Reboots() == 0 {
+			t.Errorf("%s never rebooted for hardware replacement", h.Node)
+		}
+	}
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	run := func() (int, int) {
+		c, err := NewCampaign(42, recovery.ScenarioSIRAs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		randRes, realRes := c.Run(3 * sim.Hour)
+		return len(randRes.Reports), len(realRes.Reports)
+	}
+	a1, b1 := run()
+	a2, b2 := run()
+	if a1 != a2 || b1 != b2 {
+		t.Errorf("campaign not deterministic: (%d,%d) vs (%d,%d)", a1, b1, a2, b2)
+	}
+}
+
+func TestMergedResults(t *testing.T) {
+	c, err := NewCampaign(7, recovery.ScenarioSIRAs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	randRes, realRes := c.Run(2 * sim.Hour)
+	merged := MergedResults(randRes, realRes)
+	if len(merged.Reports) != len(randRes.Reports)+len(realRes.Reports) {
+		t.Error("merged reports lost records")
+	}
+	if len(merged.PerNodeReports) != len(randRes.PerNodeReports)+len(realRes.PerNodeReports) {
+		t.Error("merged per-node views lost nodes")
+	}
+	for i := 1; i < len(merged.Reports); i++ {
+		if merged.Reports[i].At < merged.Reports[i-1].At {
+			t.Fatal("merged reports not sorted")
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/recovery"
+	"repro/internal/sim"
+	"repro/internal/stack"
+)
+
+// TestFixedWorkloadReportsCarryConnectionAge checks the Figure 3b data path:
+// packet-loss reports from the fixed workload must carry the number of
+// packets sent before the loss, spread over the 10000-packet cycle.
+func TestFixedWorkloadReportsCarryConnectionAge(t *testing.T) {
+	p := newPair(t, 201, "Verde", func(cfg *stack.Config) {
+		quiet(cfg)
+		cfg.LatentDefectProb = 0.5
+		cfg.LatentMeanPackets = 200
+	})
+	client := NewClient(DefaultFixed("fixed", recovery.ScenarioSIRAs),
+		p.world, p.panu, p.nap, p.testLog)
+	client.Start()
+	p.world.RunUntil(6 * sim.Hour)
+
+	losses := 0
+	young := 0
+	for _, r := range p.testLog.Snapshot() {
+		if r.Failure != core.UFPacketLoss {
+			continue
+		}
+		losses++
+		if r.SentPkts < 0 || r.SentPkts > 10001 {
+			t.Fatalf("SentPkts = %d outside the fixed cycle", r.SentPkts)
+		}
+		if r.SentPkts < 1000 {
+			young++
+		}
+	}
+	if losses == 0 {
+		t.Fatal("no packet losses with a 50% latent defect rate")
+	}
+	if young*2 < losses {
+		t.Errorf("only %d/%d losses struck young connections (infant mortality expected)", young, losses)
+	}
+}
+
+// TestRealisticCycleIndexGrows verifies consecutive cycles on a reused
+// connection increment the report's cycle index.
+func TestRealisticCycleIndexGrows(t *testing.T) {
+	p := newPair(t, 202, "Verde", func(cfg *stack.Config) {
+		quiet(cfg)
+		cfg.LatentDefectProb = 0.3
+		cfg.LatentMeanPackets = 50
+	})
+	cfg := DefaultRealistic("realistic", recovery.ScenarioSIRAs)
+	client := NewClient(cfg, p.world, p.panu, p.nap, p.testLog)
+	client.Start()
+	p.world.RunUntil(8 * sim.Hour)
+
+	maxIdx := 0
+	for _, r := range p.testLog.Snapshot() {
+		if r.CycleIdx > maxIdx {
+			maxIdx = r.CycleIdx
+		}
+		if r.CycleIdx > cfg.MaxCycles {
+			t.Fatalf("cycle index %d above the 20-cycle bound", r.CycleIdx)
+		}
+	}
+	if maxIdx < 2 {
+		t.Errorf("no failure ever struck a reused connection (max idx %d)", maxIdx)
+	}
+}
+
+// TestSDPFlagRecordedOnReports verifies the report's SDP flag matches
+// whether the cycle actually searched (the Table 2 PAN-connect insight
+// depends on it).
+func TestSDPFlagRecordedOnReports(t *testing.T) {
+	p := newPair(t, 203, "Verde", func(cfg *stack.Config) {
+		quiet(cfg)
+		cfg.PAN.StaleCacheFailProb = 1 // every cached connect fails
+	})
+	client := NewClient(DefaultRandom("random", recovery.ScenarioSIRAs),
+		p.world, p.panu, p.nap, p.testLog)
+	client.Start()
+	p.world.RunUntil(2 * sim.Hour)
+
+	for _, r := range p.testLog.Snapshot() {
+		if r.Failure == core.UFPANConnectFailed && r.SDPFlag {
+			t.Fatalf("stale-cache PAN failure reported with a fresh SDP search: %+v", r)
+		}
+	}
+	if client.Counters().Failures[core.UFPANConnectFailed] == 0 {
+		t.Fatal("no PAN connect failures to check")
+	}
+}
+
+// TestMaskedTransferResumesAndCompletes forces maskable packet losses and
+// checks the transfer loop resumes to completion instead of aborting.
+func TestMaskedTransferResumesAndCompletes(t *testing.T) {
+	p := newPair(t, 204, "Verde", func(cfg *stack.Config) {
+		quiet(cfg)
+		cfg.LatentDefectProb = 1
+		cfg.LatentMeanPackets = 5
+	})
+	client := NewClient(DefaultRandom("random", recovery.ScenarioSIRAsMasking),
+		p.world, p.panu, p.nap, p.testLog)
+	client.Start()
+	p.world.RunUntil(4 * sim.Hour)
+
+	c := client.Counters()
+	if c.Masked[core.UFPacketLoss] == 0 {
+		t.Fatal("no masked packet losses")
+	}
+	// Masked losses must not stop the campaign's progress: cycles keep
+	// completing and bytes keep moving.
+	if c.Cycles < 50 || c.BytesMoved == 0 {
+		t.Errorf("campaign stalled: %d cycles, %d bytes", c.Cycles, c.BytesMoved)
+	}
+	// The unmaskable (deep) share still surfaces as real failures
+	// sometimes; both counters together should roughly match the latent
+	// rate of one defect per connection.
+	total := c.Masked[core.UFPacketLoss] + c.Failures[core.UFPacketLoss]
+	if total < c.Connections/2 {
+		t.Errorf("latent defects unaccounted: %d events for %d connections", total, c.Connections)
+	}
+}
+
+// TestDataMismatchDoesNotTriggerRecovery checks the no-recovery rule for
+// data mismatch: reports exist, carry no recovery action, and the transfer
+// continues (cycles complete).
+func TestDataMismatchDoesNotTriggerRecovery(t *testing.T) {
+	p := newPair(t, 205, "Verde", func(cfg *stack.Config) {
+		quiet(cfg)
+		cfg.Radio.BERGood = 1e-4 // corruption attempts happen
+		cfg.ARQ.CRCEscape = 0.2  // and often escape
+	})
+	client := NewClient(DefaultRandom("random", recovery.ScenarioSIRAs),
+		p.world, p.panu, p.nap, p.testLog)
+	client.Start()
+	p.world.RunUntil(sim.Hour)
+
+	mismatches := 0
+	for _, r := range p.testLog.Snapshot() {
+		if r.Failure != core.UFDataMismatch {
+			continue
+		}
+		mismatches++
+		if r.Recovered || r.Recovery != core.RANone || r.TTR != 0 {
+			t.Fatalf("data mismatch with recovery fields set: %+v", r)
+		}
+	}
+	if mismatches == 0 {
+		t.Fatal("no data mismatches at 20% escape rate")
+	}
+}
+
+// TestCountersTrackUsageByPacketType checks the Figure 3a counters: the
+// random workload must exercise every packet type, with the binomial
+// mid-types dominating usage.
+func TestCountersTrackUsageByPacketType(t *testing.T) {
+	p := newPair(t, 206, "Verde", quiet)
+	client := NewClient(DefaultRandom("random", recovery.ScenarioSIRAs),
+		p.world, p.panu, p.nap, p.testLog)
+	client.Start()
+	p.world.RunUntil(6 * sim.Hour)
+
+	c := client.Counters()
+	for _, pt := range core.PacketTypes() {
+		if c.PacketsByType[pt] == 0 {
+			t.Errorf("packet type %v never used", pt)
+		}
+	}
+	// Binomial(5, 0.5): DM3/DH3 carry 10/32 of draws each; DM1/DH5 1/32.
+	if c.PacketsByType[core.PTDM3] < c.PacketsByType[core.PTDM1] {
+		t.Error("binomial draw should favour mid types")
+	}
+}
+
+// TestIdleTimesFollowPareto sanity-checks the off-time distribution: the
+// sampled idle times before clean cycles should have a mean near the
+// Pareto(10, 1.5) mean of 30 s.
+func TestIdleTimesFollowPareto(t *testing.T) {
+	p := newPair(t, 207, "Verde", quiet)
+	client := NewClient(DefaultRealistic("realistic", recovery.ScenarioSIRAs),
+		p.world, p.panu, p.nap, p.testLog)
+	client.Start()
+	p.world.RunUntil(24 * sim.Hour)
+
+	c := client.Counters()
+	if c.IdleBeforeClean.N() < 100 {
+		t.Skip("not enough reused-connection cycles")
+	}
+	mean := c.IdleBeforeClean.Mean()
+	if mean < 15 || mean > 60 {
+		t.Errorf("idle mean = %.1f s, want near the Pareto mean of 30 s", mean)
+	}
+	if c.IdleBeforeClean.Min() < 10 {
+		t.Errorf("idle min = %.1f s below the Pareto scale", c.IdleBeforeClean.Min())
+	}
+}
