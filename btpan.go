@@ -21,6 +21,7 @@ package btpan
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/coalesce"
@@ -60,6 +61,12 @@ type CampaignConfig struct {
 	Duration sim.Time
 	// Scenario selects the recovery regime.
 	Scenario Scenario
+	// Parallelism controls campaign orchestration: 0 (default) runs the
+	// two testbeds on separate goroutines (each owns its kernel and RNG,
+	// so results are identical to sequential execution for a given seed);
+	// 1 forces a single goroutine. Values above 1 behave like 0 — a
+	// campaign has exactly two independent simulations to overlap.
+	Parallelism int
 }
 
 // Validate reports configuration errors.
@@ -92,7 +99,12 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	randomRes, realisticRes := c.Run(cfg.Duration)
+	var randomRes, realisticRes *testbed.Results
+	if cfg.Parallelism == 1 {
+		randomRes, realisticRes = c.RunSequential(cfg.Duration)
+	} else {
+		randomRes, realisticRes = c.Run(cfg.Duration)
+	}
 	return &CampaignResult{Config: cfg, Random: randomRes, Realistic: realisticRes}, nil
 }
 
@@ -200,17 +212,35 @@ func (r *CampaignResult) Scalars() *analysis.Scalars {
 // Table4 runs the four scenario campaigns and assembles the dependability
 // comparison. Each scenario observes the same virtual duration with its own
 // derived seed, mirroring the paper's estimation of the four regimes from
-// the same testbeds.
+// the same testbeds. The four campaigns are independent simulations and run
+// concurrently; the column order (and every number in it) is the same as a
+// sequential pass would produce.
 func Table4(seed uint64, duration sim.Time) (*analysis.Table4, error) {
+	scenarios := recovery.Scenarios()
+	columns := make([]*analysis.Dependability, len(scenarios))
+	errs := make([]error, len(scenarios))
+	var wg sync.WaitGroup
+	for i, sc := range scenarios {
+		wg.Add(1)
+		go func(i int, sc recovery.Scenario) {
+			defer wg.Done()
+			res, err := RunCampaign(CampaignConfig{
+				Seed: seed, Duration: duration, Scenario: sc,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			columns[i] = res.Dependability()
+		}(i, sc)
+	}
+	wg.Wait()
 	t4 := &analysis.Table4{}
-	for _, sc := range recovery.Scenarios() {
-		res, err := RunCampaign(CampaignConfig{
-			Seed: seed, Duration: duration, Scenario: sc,
-		})
-		if err != nil {
-			return nil, err
+	for i := range scenarios {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		t4.Columns = append(t4.Columns, res.Dependability())
+		t4.Columns = append(t4.Columns, columns[i])
 	}
 	return t4, nil
 }
@@ -220,13 +250,21 @@ func Table4(seed uint64, duration sim.Time) (*analysis.Table4, error) {
 // masking — by running two independent masked campaigns and composing their
 // dependability into a 1-out-of-2 deployment with the given failover time.
 func RedundantPiconets(seed uint64, duration sim.Time, failover sim.Time) (*analysis.RedundantDeployment, error) {
-	a, err := RunCampaign(CampaignConfig{Seed: seed, Duration: duration, Scenario: ScenarioSIRAsMasking})
-	if err != nil {
-		return nil, err
+	var a, b *CampaignResult
+	var errA, errB error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		a, errA = RunCampaign(CampaignConfig{Seed: seed, Duration: duration, Scenario: ScenarioSIRAsMasking})
+	}()
+	b, errB = RunCampaign(CampaignConfig{Seed: seed ^ 0x5EC0DB, Duration: duration, Scenario: ScenarioSIRAsMasking})
+	wg.Wait()
+	if errA != nil {
+		return nil, errA
 	}
-	b, err := RunCampaign(CampaignConfig{Seed: seed ^ 0x5EC0DB, Duration: duration, Scenario: ScenarioSIRAsMasking})
-	if err != nil {
-		return nil, err
+	if errB != nil {
+		return nil, errB
 	}
 	return &analysis.RedundantDeployment{
 		A:               a.Dependability(),

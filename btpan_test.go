@@ -106,11 +106,32 @@ func TestTable2FromCampaign(t *testing.T) {
 	if math.Abs(tot-100) > 0.5 {
 		t.Errorf("TOT column sums to %v", tot)
 	}
-	// HCI must be the dominant source, as in the paper (49.9 %).
-	hci := t2.SourceShare(core.SrcHCI)
+	// HCI must be the dominant source, as in the paper (49.9 %). A single
+	// 36-hour campaign leaves several points of seed noise on the HCI/SDP
+	// margin (the paper integrated 18 months), so dominance is asserted on
+	// shares averaged over a few seeds — cheap now that a campaign day
+	// simulates in well under a second.
+	shares := map[core.SysSource]float64{}
+	seeds := []uint64{1, 2, 3, 4}
+	for _, seed := range seeds {
+		r, err := RunCampaign(CampaignConfig{
+			Seed: seed, Duration: 36 * Hour, Scenario: ScenarioSIRAs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st2 := r.Table2()
+		for _, src := range core.SysSources() {
+			shares[src] += st2.SourceShare(src) / float64(len(seeds))
+		}
+	}
+	hci := shares[core.SrcHCI]
+	if hci < 30 {
+		t.Errorf("mean HCI share %.1f%% far below the paper's 49.9%%", hci)
+	}
 	for _, src := range core.SysSources() {
-		if src != core.SrcHCI && t2.SourceShare(src) > hci {
-			t.Errorf("%v (%.1f%%) outweighs HCI (%.1f%%)", src, t2.SourceShare(src), hci)
+		if src != core.SrcHCI && shares[src] > hci {
+			t.Errorf("%v (%.1f%% mean) outweighs HCI (%.1f%% mean)", src, shares[src], hci)
 		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	btpan "repro"
 	"repro/internal/collector"
@@ -55,6 +56,7 @@ func main() {
 	}
 	defer repo.Close()
 
+	shippedBatches := 0
 	ship := func(tb *testbed.Results) {
 		for node, reports := range tb.PerNodeReports {
 			test := logging.NewTestLog(node)
@@ -69,6 +71,7 @@ func main() {
 			if err := a.FlushOnce(); err != nil {
 				fatal(err)
 			}
+			shippedBatches += a.Shipped()
 		}
 		// The NAP has no Test Log, only a System Log.
 		sys := logging.NewSystemLog(tb.NAPNode)
@@ -80,9 +83,15 @@ func main() {
 		if err := a.FlushOnce(); err != nil {
 			fatal(err)
 		}
+		shippedBatches += a.Shipped()
 	}
 	ship(res.Random)
 	ship(res.Realistic)
+	// Batches land asynchronously; rendezvous before reading the store, or
+	// the tail batch of the last node can still be in flight.
+	if !repo.WaitForBatches(shippedBatches, 10*time.Second) {
+		fatal(fmt.Errorf("repository received fewer batches than shipped (%d expected)", shippedBatches))
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)

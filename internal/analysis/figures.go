@@ -204,10 +204,18 @@ func BuildScalars(randomReports, realisticReports []core.UserReport,
 	s.UserReports = nRandom + nRealistic
 	s.SystemEntries = systemEntries
 
+	// Merge in sorted key order: float accumulation is rounding-order
+	// dependent, and map iteration order would make the scalar outputs
+	// differ in ulps between otherwise identical runs.
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var failed, clean stats.Summary
-	for _, c := range counters {
-		failed.Merge(c.IdleBeforeFailed)
-		clean.Merge(c.IdleBeforeClean)
+	for _, name := range names {
+		failed.Merge(counters[name].IdleBeforeFailed)
+		clean.Merge(counters[name].IdleBeforeClean)
 	}
 	s.IdleBeforeFailedMean = failed.Mean()
 	s.IdleBeforeCleanMean = clean.Mean()

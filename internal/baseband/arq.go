@@ -26,6 +26,18 @@ type ARQConfig struct {
 	// match radio.CodewordErrors' continuation probability (0.3) for the
 	// analytic fast path to agree with the bit-level model.
 	BurstContinue float64
+
+	// SlowPath disables the transmitter's probability memoization: every
+	// chunk and attempt probability is recomputed from scratch instead of
+	// served from the (pt, bits, BER)-keyed caches. Control flow —
+	// run-length BER queries and SDU batching included — is identical on
+	// both settings, and probabilities combine in the same order, so
+	// campaign outputs are bit-identical; the knob exists so the
+	// seed-equivalence test can prove the memoization is sound. (The
+	// run-length API itself is pinned to per-slot queries by
+	// radio's TestBERRunMatchesSlotBER, and the batch draw to per-fragment
+	// sends by TestSendSDUMatchesPerFragmentSends.)
+	SlowPath bool
 }
 
 // DefaultARQConfig returns the calibrated retransmission parameters.
@@ -95,6 +107,101 @@ type Transmitter struct {
 	link *radio.Link
 	rng  *rand.Rand
 	slot int64 // next free slot on the shared piconet clock
+
+	// cf memoizes chunkFailProb per (packet type, bits-in-slot, BER). The
+	// BER is part of the key, so entries never need explicit invalidation:
+	// a channel-state transition simply stops hitting them. An attempt
+	// touches at most two distinct bit counts (full slots plus the
+	// remainder slot), so a tiny ring with linear scan stays hot across
+	// the ~2.9M-slot good-state sojourns that dominate the campaign.
+	cf     [8]cfEntry
+	cfNext int
+	cfMRU  int
+
+	// att memoizes whole-attempt survival probabilities per (packet type,
+	// air bits, BER) for attempts that fall entirely inside one channel
+	// state — the overwhelmingly common case. One hit replaces the
+	// per-slot chunk loop.
+	att     [8]attEntry
+	attNext int
+	attMRU  int
+
+	// pOKs is SendSDU's scratch buffer of per-fragment survival
+	// probabilities; a field rather than a local so the 1 KiB array is not
+	// re-zeroed on every SDU.
+	pOKs [sduBatchMax]float64
+}
+
+// attEntry is one memoized attempt survival probability.
+type attEntry struct {
+	ber     float64
+	pOK     float64
+	airBits int32
+	pt      core.PacketType
+	valid   bool
+}
+
+// attemptOK returns the probability that an attempt of airBits on-air bits
+// survives every one of its slots at constant BER, memoized. The product is
+// accumulated slot by slot in the same order as the slow path, from the same
+// memoized chunkFailProb values, so the cached float is bit-identical to
+// what a per-slot computation yields.
+func (t *Transmitter) attemptOK(pt core.PacketType, airBits, slots, bitsPerSlot int, ber float64) float64 {
+	if e := &t.att[t.attMRU]; e.valid && e.pt == pt && e.airBits == int32(airBits) && e.ber == ber {
+		return e.pOK
+	}
+	for i := range t.att {
+		e := &t.att[i]
+		if e.valid && e.pt == pt && e.airBits == int32(airBits) && e.ber == ber {
+			t.attMRU = i
+			return e.pOK
+		}
+	}
+	pOK := 1.0
+	for s := 0; s < slots; s++ {
+		bits := bitsPerSlot
+		if rem := airBits - s*bitsPerSlot; rem < bits {
+			bits = rem
+		}
+		pOK *= 1 - t.chunkFail(pt, bits, ber)
+	}
+	t.att[t.attNext] = attEntry{ber: ber, pOK: pOK, airBits: int32(airBits), pt: pt, valid: true}
+	t.attMRU = t.attNext
+	t.attNext = (t.attNext + 1) % len(t.att)
+	return pOK
+}
+
+// cfEntry is one memoized chunk-failure probability.
+type cfEntry struct {
+	ber   float64
+	prob  float64
+	bits  int32
+	pt    core.PacketType
+	valid bool
+}
+
+// chunkFail returns chunkFailProb(pt, bits, ber), memoized. The cached value
+// is the exact float produced by chunkFailProb, so fast- and slow-path
+// campaigns stay bit-identical.
+func (t *Transmitter) chunkFail(pt core.PacketType, bits int, ber float64) float64 {
+	// Consecutive lookups repeat the previous key almost always (full
+	// fragments of one SDU share a bit count), so check the last hit
+	// before scanning the ring.
+	if e := &t.cf[t.cfMRU]; e.valid && e.pt == pt && e.bits == int32(bits) && e.ber == ber {
+		return e.prob
+	}
+	for i := range t.cf {
+		e := &t.cf[i]
+		if e.valid && e.pt == pt && e.bits == int32(bits) && e.ber == ber {
+			t.cfMRU = i
+			return e.prob
+		}
+	}
+	p := t.chunkFailProb(pt, bits, ber)
+	t.cf[t.cfNext] = cfEntry{ber: ber, prob: p, bits: int32(bits), pt: pt, valid: true}
+	t.cfMRU = t.cfNext
+	t.cfNext = (t.cfNext + 1) % len(t.cf)
+	return p
 }
 
 // NewTransmitter builds a transmitter over link. Invalid configs panic
@@ -127,46 +234,71 @@ func (t *Transmitter) chunkFailProb(pt core.PacketType, bitsInSlot int, ber floa
 	if bitsInSlot <= 0 {
 		return 0
 	}
-	pAny := 1 - powOneMinus(ber, bitsInSlot)
 	if !pt.FEC() {
-		return pAny
+		return 1 - powOneMinus(ber, bitsInSlot)
 	}
 	// Codewords of 15 bits; a codeword fails when a burst continues past
 	// the first errored bit.
 	ncw := (bitsInSlot + 14) / 15
 	pAnyCW := 1 - powOneMinus(ber, 15)
 	pCWFail := pAnyCW * t.cfg.BurstContinue
-	_ = pAny
 	return 1 - powOneMinus(pCWFail, ncw)
 }
 
-// Send transmits one payload of payloadLen bytes as a packet of type pt,
-// retransmitting on integrity failure up to the flush limit. Slots advance
-// on the shared piconet clock; each attempt consumes the packet's slots plus
-// one return slot for the ACK/NAK (the baseband's alternating TDD).
-func (t *Transmitter) Send(pt core.PacketType, payloadLen int) TxResult {
-	if payloadLen < 0 || payloadLen > pt.Payload() {
-		panic(fmt.Sprintf("baseband: payload %dB out of range for %v", payloadLen, pt))
+// attemptSurvival computes the probability that one attempt's data slots all
+// deliver their chunk of the payload intact, advancing the piconet clock
+// across them. The product runs slot by slot in transmission order; on the
+// fast path a whole-attempt memo (attemptOK) or the chunkFail memo supplies
+// the factors, with cfg.SlowPath every factor is recomputed from scratch —
+// both orderings and values are bit-identical.
+func (t *Transmitter) attemptSurvival(pt core.PacketType, airBits, slots, bitsPerSlot int) float64 {
+	pOK := 1.0
+	end := t.slot + int64(slots)
+	for s := 0; t.slot < end; {
+		ber, until := t.link.BERRun(t.slot, end)
+		if !t.cfg.SlowPath && s == 0 && until >= end {
+			// The whole attempt sits in one channel state: one memoized
+			// probability covers it.
+			pOK = t.attemptOK(pt, airBits, slots, bitsPerSlot, ber)
+			t.slot = end
+			break
+		}
+		for ; t.slot < until; s++ {
+			bits := bitsPerSlot
+			if rem := airBits - s*bitsPerSlot; rem < bits {
+				bits = rem
+			}
+			if t.cfg.SlowPath {
+				pOK *= 1 - t.chunkFailProb(pt, bits, ber)
+			} else {
+				pOK *= 1 - t.chunkFail(pt, bits, ber)
+			}
+			t.slot++
+		}
 	}
+	return pOK
+}
+
+// sendFragment runs the ARQ for one fragment, with attemptsDone attempts
+// already consumed by the caller (the SDU batch path hands over fragments
+// whose first attempt failed). Slots and elapsed time are measured from the
+// call's entry.
+func (t *Transmitter) sendFragment(pt core.PacketType, payloadLen, attemptsDone int) TxResult {
 	airBits := AirBits(pt, payloadLen)
 	slots := pt.Slots()
 	bitsPerSlot := (airBits + slots - 1) / slots
 
 	start := t.slot
-	attempts := 0
+	attempts := attemptsDone
 	for {
 		attempts++
+		pOK := t.attemptSurvival(pt, airBits, slots, bitsPerSlot)
+		// One Bernoulli decides the attempt; inlined (instead of stats) to
+		// keep call overhead off the per-attempt path, with the same
+		// draw-skipping edge cases.
 		corrupt := false
-		for s := 0; s < slots; s++ {
-			ber := t.link.SlotBER(t.slot)
-			t.slot++
-			bits := bitsPerSlot
-			if rem := airBits - s*bitsPerSlot; rem < bits {
-				bits = rem
-			}
-			if stats(t.rng, t.chunkFailProb(pt, bits, ber)) {
-				corrupt = true
-			}
+		if pFail := 1 - pOK; pFail > 0 {
+			corrupt = pFail >= 1 || t.rng.Float64() < pFail
 		}
 		t.slot++ // return slot carrying ACK/NAK
 
@@ -188,6 +320,181 @@ func (t *Transmitter) Send(pt core.PacketType, payloadLen int) TxResult {
 				Slots: used, Elapsed: sim.Time(used) * sim.Slot}
 		}
 	}
+}
+
+// Send transmits one payload of payloadLen bytes as a packet of type pt,
+// retransmitting on integrity failure up to the flush limit. Slots advance
+// on the shared piconet clock; each attempt consumes the packet's slots plus
+// one return slot for the ACK/NAK (the baseband's alternating TDD).
+//
+// Each attempt draws one Bernoulli against the probability that any slot's
+// chunk of the payload is corrupted (1 - Π over slots of the chunk survival
+// probabilities), instead of one draw per slot — the same corruption
+// distribution for a fraction of the RNG and BER-query work.
+func (t *Transmitter) Send(pt core.PacketType, payloadLen int) TxResult {
+	if payloadLen < 0 || payloadLen > pt.Payload() {
+		panic(fmt.Sprintf("baseband: payload %dB out of range for %v", payloadLen, pt))
+	}
+	return t.sendFragment(pt, payloadLen, 0)
+}
+
+// SDUResult reports the transmission of one multi-fragment SDU.
+type SDUResult struct {
+	Outcome Outcome
+	Slots   int64    // total slots consumed, including return slots
+	Elapsed sim.Time // Slots expressed as time
+}
+
+// sduBatchMax bounds the stack array holding per-fragment survival
+// probabilities in SendSDU; longer SDUs (a DM1-segmented BNEP MTU is ~100
+// fragments) batch in consecutive windows.
+const sduBatchMax = 128
+
+// SendSDU transmits an SDU segmented into count fragments — full fragments
+// of fullLen bytes plus a final one of lastLen — exactly as consecutive
+// Send calls would, but batched: while the channel state holds, the first
+// attempts of every remaining fragment are decided by a single uniform draw
+// against the prefix-product failure CDF (the draw that locates the first
+// failing fragment is the same draw that decided failure, by CDF inversion,
+// so the per-fragment outcome distribution is untouched). Only fragments at
+// a channel-state transition, or retransmissions after a located failure,
+// fall back to the per-attempt path. This turns the dominant workload case —
+// a multi-fragment SDU delivered cleanly inside a multi-minute good-state
+// sojourn — into one BER query, one memo hit and one RNG draw.
+func (t *Transmitter) SendSDU(pt core.PacketType, count, fullLen, lastLen int) SDUResult {
+	if count < 1 {
+		panic(fmt.Sprintf("baseband: SendSDU with %d fragments", count))
+	}
+	if fullLen < 0 || fullLen > pt.Payload() || lastLen < 0 || lastLen > pt.Payload() {
+		panic(fmt.Sprintf("baseband: fragment lengths %d/%d out of range for %v",
+			fullLen, lastLen, pt))
+	}
+	slots := pt.Slots()
+	stride := int64(slots + 1) // data slots plus the ACK/NAK return slot
+	start := t.slot
+	fullBits := AirBits(pt, fullLen)
+	lastBits := AirBits(pt, lastLen)
+	fullBPS := (fullBits + slots - 1) / slots
+	lastBPS := (lastBits + slots - 1) / slots
+
+	for frag := 0; frag < count; {
+		remaining := count - frag
+		windowEnd := t.slot + int64(remaining)*stride
+		ber, until := t.link.BERRun(t.slot, windowEnd)
+		// n fragments have all their data slots inside this channel state.
+		span := until - t.slot
+		n := 0
+		if span >= int64(slots) {
+			n = int((span-int64(slots))/stride) + 1
+			if n > remaining {
+				n = remaining
+			}
+			if n > sduBatchMax {
+				n = sduBatchMax
+			}
+		}
+		if n == 0 {
+			// The next fragment's data slots straddle a state transition:
+			// send it through the per-attempt path.
+			fragLen := fullLen
+			if frag == count-1 {
+				fragLen = lastLen
+			}
+			res := t.sendFragment(pt, fragLen, 0)
+			if res.Outcome != Delivered {
+				return t.sduDone(res.Outcome, start)
+			}
+			frag++
+			continue
+		}
+		// First-attempt survival probabilities of the batched fragments, in
+		// transmission order (identical factors and order on both paths).
+		// Only two distinct values occur — full fragments and the final
+		// one — so they are computed once per batch and the product runs
+		// over scalars.
+		pFull := t.batchFragOK(pt, fullBits, slots, fullBPS, ber)
+		pLast := pFull
+		if frag+n == count {
+			pLast = t.batchFragOK(pt, lastBits, slots, lastBPS, ber)
+		}
+		pAll := 1.0
+		for i := 0; i < n; i++ {
+			p := pFull
+			if frag+i == count-1 {
+				p = pLast
+			}
+			t.pOKs[i] = p
+			pAll *= p
+		}
+		pFail := 1 - pAll
+		if pFail <= 0 {
+			// Every batched fragment delivers on its first attempt.
+			t.slot += int64(n) * stride
+			frag += n
+			continue
+		}
+		u := t.rng.Float64()
+		if u >= pFail {
+			t.slot += int64(n) * stride
+			frag += n
+			continue
+		}
+		// Some first attempt failed: invert the same u on the prefix-failure
+		// CDF F_j = 1 - Π_{i<=j} pOK_i to locate the first failing fragment
+		// (u < pFail = F_{n-1} guarantees a hit; F is non-decreasing).
+		prefix := 1.0
+		j := n - 1
+		for i := 0; i < n; i++ {
+			prefix *= t.pOKs[i]
+			if u < 1-prefix {
+				j = i
+				break
+			}
+		}
+		// Fragments before j delivered first-try; fragment j's first attempt
+		// consumed its stride and was corrupted.
+		t.slot += int64(j+1) * stride
+		if stats(t.rng, t.cfg.CRCEscape) {
+			return t.sduDone(Corrupted, start)
+		}
+		if t.cfg.FlushLimit <= 1 {
+			return t.sduDone(Dropped, start)
+		}
+		fragLen := fullLen
+		if frag+j == count-1 {
+			fragLen = lastLen
+		}
+		res := t.sendFragment(pt, fragLen, 1)
+		if res.Outcome != Delivered {
+			return t.sduDone(res.Outcome, start)
+		}
+		frag += j + 1
+	}
+	return t.sduDone(Delivered, start)
+}
+
+// batchFragOK returns the first-attempt survival probability of one batched
+// fragment at constant BER: memoized on the fast path, recomputed slot by
+// slot (in the same order, yielding the same float) with cfg.SlowPath.
+func (t *Transmitter) batchFragOK(pt core.PacketType, airBits, slots, bitsPerSlot int, ber float64) float64 {
+	if !t.cfg.SlowPath {
+		return t.attemptOK(pt, airBits, slots, bitsPerSlot, ber)
+	}
+	p := 1.0
+	for s := 0; s < slots; s++ {
+		bits := bitsPerSlot
+		if rem := airBits - s*bitsPerSlot; rem < bits {
+			bits = rem
+		}
+		p *= 1 - t.chunkFailProb(pt, bits, ber)
+	}
+	return p
+}
+
+// sduDone assembles an SDUResult from the slots consumed since start.
+func (t *Transmitter) sduDone(o Outcome, start int64) SDUResult {
+	used := t.slot - start
+	return SDUResult{Outcome: o, Slots: used, Elapsed: sim.Time(used) * sim.Slot}
 }
 
 // stats draws a Bernoulli without importing internal/stats (avoids a cycle-

@@ -1,0 +1,90 @@
+package baseband
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// TestSendSDUMatchesPerFragmentSends checks that the batched SDU path has
+// the same outcome distribution as a loop of per-fragment Sends: the batch
+// draw plus CDF inversion is mathematically the same process, so loss and
+// corruption rates (and mean slot consumption) must agree statistically.
+func TestSendSDUMatchesPerFragmentSends(t *testing.T) {
+	const (
+		sdus     = 30000
+		count    = 5
+		fullLen  = 339
+		lastLen  = 120
+		pt       = core.PTDH5
+		tolRatio = 0.08
+	)
+	type tally struct {
+		lost, corrupted int
+		slots           int64
+	}
+	run := func(batched bool, seedA, seedB uint64) tally {
+		cfg := radio.DefaultConfig(0)
+		cfg.MeanGoodDur = 2 * sim.Second
+		cfg.MeanBadDur = 100 * sim.Millisecond
+		cfg.BERBad = 0.01
+		cfg.InterferencePerHour = 0
+		link := radio.NewLink(cfg, testRNG(seedA, seedA))
+		tx := NewTransmitter(DefaultARQConfig(), link, testRNG(seedB, seedB))
+		var out tally
+		for i := 0; i < sdus; i++ {
+			if batched {
+				res := tx.SendSDU(pt, count, fullLen, lastLen)
+				out.slots += res.Slots
+				switch res.Outcome {
+				case Dropped:
+					out.lost++
+				case Corrupted:
+					out.corrupted++
+				}
+			} else {
+				for f := 0; f < count; f++ {
+					l := fullLen
+					if f == count-1 {
+						l = lastLen
+					}
+					res := tx.Send(pt, l)
+					out.slots += res.Slots
+					if res.Outcome == Dropped {
+						out.lost++
+						break
+					}
+					if res.Outcome == Corrupted {
+						out.corrupted++
+						break
+					}
+				}
+			}
+		}
+		return out
+	}
+
+	a := run(true, 101, 202)
+	b := run(false, 303, 404)
+	t.Logf("batched: lost %d corrupted %d slots %d; per-fragment: lost %d corrupted %d slots %d",
+		a.lost, a.corrupted, a.slots, b.lost, b.corrupted, b.slots)
+	if a.lost == 0 || b.lost == 0 {
+		t.Fatalf("no losses observed (batched %d, per-fragment %d): channel too clean for the test",
+			a.lost, b.lost)
+	}
+	relDiff := func(x, y int) float64 {
+		fx, fy := float64(x), float64(y)
+		return (fx - fy) / fy
+	}
+	if d := relDiff(a.lost, b.lost); d > tolRatio || d < -tolRatio {
+		t.Errorf("loss rates diverge: batched %d vs per-fragment %d (%.1f%%)",
+			a.lost, b.lost, 100*d)
+	}
+	ds := (float64(a.slots) - float64(b.slots)) / float64(b.slots)
+	if ds > 0.02 || ds < -0.02 {
+		t.Errorf("slot consumption diverges: batched %d vs per-fragment %d (%.2f%%)",
+			a.slots, b.slots, 100*ds)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 )
@@ -17,6 +18,7 @@ type Repository struct {
 	wg sync.WaitGroup
 
 	mu      sync.Mutex
+	stored  *sync.Cond // signalled on every stored batch
 	reports []core.UserReport
 	entries []core.SystemEntry
 	batches int
@@ -31,6 +33,7 @@ func NewRepository(addr string) (*Repository, error) {
 		return nil, fmt.Errorf("collector: listen %s: %w", addr, err)
 	}
 	r := &Repository{ln: ln}
+	r.stored = sync.NewCond(&r.mu)
 	r.wg.Add(1)
 	go r.acceptLoop()
 	return r, nil
@@ -72,8 +75,31 @@ func (r *Repository) serve(conn net.Conn) {
 		r.reports = append(r.reports, b.Reports...)
 		r.entries = append(r.entries, b.Entries...)
 		r.batches++
+		r.stored.Broadcast()
 		r.mu.Unlock()
 	}
+}
+
+// WaitForBatches blocks until the repository has stored at least n batches,
+// and reports whether it did before the timeout. Batch storage is
+// asynchronous with respect to the sender's write — a LogAnalyzer's
+// FlushOnce returns once the frame is on the wire — so collection drivers
+// must rendezvous here before reading the repository, or a tail batch can
+// still be in flight.
+func (r *Repository) WaitForBatches(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		r.mu.Lock()
+		r.stored.Broadcast()
+		r.mu.Unlock()
+	})
+	defer timer.Stop()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.batches < n && time.Now().Before(deadline) {
+		r.stored.Wait()
+	}
+	return r.batches >= n
 }
 
 // Close stops accepting and waits for in-flight connections to finish.

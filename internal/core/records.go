@@ -90,6 +90,10 @@ const (
 	numPacketTypes
 )
 
+// NumPacketTypes bounds the PacketType values; dense per-type counters use
+// it as their array length so the per-packet hot path avoids map operations.
+const NumPacketTypes = int(numPacketTypes)
+
 // PacketTypes lists the six ACL data packet types.
 func PacketTypes() []PacketType {
 	return []PacketType{PTDM1, PTDH1, PTDM3, PTDH3, PTDM5, PTDH5}

@@ -1,0 +1,86 @@
+package l2cap
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestPlanSDUMatchesSegmentSDU pins the value-type plan to the materialised
+// slice API across packet types and SDU lengths.
+func TestPlanSDUMatchesSegmentSDU(t *testing.T) {
+	for _, pt := range core.PacketTypes() {
+		for _, n := range []int{1, 4, 13, 17, 100, 339, 800, 1500, 1691} {
+			plan := PlanSDU(n, pt)
+			segs := SegmentSDU(n, pt)
+			if plan.Count != len(segs) {
+				t.Fatalf("%v/%dB: plan count %d != %d segments", pt, n, plan.Count, len(segs))
+			}
+			total := 0
+			for i, seg := range segs {
+				if got := plan.Seg(i); got != seg {
+					t.Errorf("%v/%dB fragment %d: plan %+v != segment %+v", pt, n, i, got, seg)
+				}
+				if plan.Len(i) != seg.Len {
+					t.Errorf("%v/%dB fragment %d: Len %d != %d", pt, n, i, plan.Len(i), seg.Len)
+				}
+				total += seg.Len
+			}
+			if plan.Total() != total {
+				t.Errorf("%v/%dB: Total %d != %d", pt, n, plan.Total(), total)
+			}
+			if plan.Total() != n+HeaderLen {
+				t.Errorf("%v/%dB: Total %d != SDU+header %d", pt, n, plan.Total(), n+HeaderLen)
+			}
+		}
+	}
+}
+
+// TestSegPlanIterationAllocFree proves the data plane's segmentation path
+// performs zero heap allocations — the point of replacing the []Segment
+// return on a 5.5M-fragment-per-day path.
+func TestSegPlanIterationAllocFree(t *testing.T) {
+	var sink int
+	allocs := testing.AllocsPerRun(200, func() {
+		plan := PlanSDU(1500, core.PTDH5)
+		for i := 0; i < plan.Count; i++ {
+			sink += plan.Len(i)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("SegPlan iteration allocates %.1f objects per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestSegPlanPanics pins the guard rails.
+func TestSegPlanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PlanSDU(0) should panic")
+		}
+	}()
+	PlanSDU(0, core.PTDH1)
+}
+
+// BenchmarkSegmentSDU measures the compatibility wrapper (one slice
+// allocation per SDU).
+func BenchmarkSegmentSDU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		segs := SegmentSDU(1500, core.PTDH5)
+		_ = segs
+	}
+}
+
+// BenchmarkSegPlan measures the zero-alloc plan iteration the data plane
+// uses.
+func BenchmarkSegPlan(b *testing.B) {
+	var sink int
+	for i := 0; i < b.N; i++ {
+		plan := PlanSDU(1500, core.PTDH5)
+		for j := 0; j < plan.Count; j++ {
+			sink += plan.Len(j)
+		}
+	}
+	_ = sink
+}

@@ -1,0 +1,53 @@
+package radio
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestBERRunMatchesSlotBER drives two identically seeded links across the
+// same slot range — one with per-slot SlotBER queries, one with run-length
+// BERRun queries — and checks that every slot sees the identical BER. The
+// run-length API is the data plane's fast path; this pins its contract that
+// [from, until) is exactly the per-slot answer, including the same lazy
+// sojourn sampling (same RNG draws at the same boundary crossings).
+func TestBERRunMatchesSlotBER(t *testing.T) {
+	const slotCount = 500_000
+	cfg := DefaultConfig(5)
+	// Compress the chain so the range crosses many state transitions and
+	// interference bursts.
+	cfg.MeanGoodDur = 200 * sim.Millisecond
+	cfg.MeanBadDur = 40 * sim.Millisecond
+	cfg.InterferencePerHour = 3600
+
+	perSlot := NewLink(cfg, rand.New(rand.NewPCG(42, 42)))
+	byRun := NewLink(cfg, rand.New(rand.NewPCG(42, 42)))
+
+	want := make([]float64, slotCount)
+	for s := int64(0); s < slotCount; s++ {
+		want[s] = perSlot.SlotBER(s)
+	}
+	for s := int64(0); s < slotCount; {
+		ber, until := byRun.BERRun(s, slotCount)
+		if until <= s {
+			t.Fatalf("BERRun(%d) returned empty run ending at %d", s, until)
+		}
+		for ; s < until; s++ {
+			if ber != want[s] {
+				t.Fatalf("slot %d: BERRun %v != SlotBER %v", s, ber, want[s])
+			}
+		}
+	}
+}
+
+// TestBERRunHonorsWindowCap checks that until never exceeds the caller's
+// window even deep inside a long sojourn.
+func TestBERRunHonorsWindowCap(t *testing.T) {
+	l := NewLink(DefaultConfig(0), rand.New(rand.NewPCG(7, 7)))
+	_, until := l.BERRun(0, 10)
+	if until > 10 {
+		t.Errorf("until = %d beyond window cap 10", until)
+	}
+}

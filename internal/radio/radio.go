@@ -187,6 +187,43 @@ func (l *Link) SlotBER(slot int64) float64 {
 	return ber
 }
 
+// BERRun reports the per-bit error probability in effect at slot from,
+// together with the first slot (capped at to) at which the error process
+// might change state: every slot in [from, until) sees exactly the BER that
+// a SlotBER query would report for it. BERRun is the run-length fast path
+// of the data plane: with mean good sojourns of ~2.9M slots it replaces
+// millions of per-slot SlotBER queries with one query per channel state per
+// attempt, drawing exactly the same RNG sequence as per-slot queries would
+// (sojourns are sampled lazily at boundary crossings, which happen
+// identically however the query points are spaced). Unlike SlotBER it does
+// not advance the good/bad slot diagnostics counters, which remain per-slot
+// query counts.
+func (l *Link) BERRun(from, to int64) (ber float64, until int64) {
+	l.advance(from)
+	until = to
+	if l.stateEnds < until {
+		until = l.stateEnds
+	}
+	if l.nextInterference < until {
+		until = l.nextInterference
+	}
+	if from < l.interferenceEnds && l.interferenceEnds < until {
+		until = l.interferenceEnds
+	}
+	ber = l.cfg.BERGood
+	if l.bad {
+		ber = l.cfg.BERBad
+	}
+	if from < l.interferenceEnds && l.cfg.BERInterference > ber {
+		ber = l.cfg.BERInterference
+	}
+	ber *= 1 + l.cfg.DistanceBERSlope*l.cfg.DistanceM
+	if ber > 1 {
+		ber = 1
+	}
+	return ber, until
+}
+
 // Bad reports whether the chain was in the bad state at the last query.
 func (l *Link) Bad() bool { return l.bad }
 

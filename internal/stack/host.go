@@ -245,21 +245,16 @@ func (p *Pipe) SendPacket(pt core.PacketType, size int) (PacketOutcome, sim.Time
 	if nowSlot > p.host.Tx.Slot() {
 		p.host.Tx.AdvanceTo(nowSlot)
 	}
-	var elapsed sim.Time
-	for _, seg := range l2cap.SegmentSDU(size, pt) {
-		res := p.host.Tx.Send(pt, seg.Len)
-		elapsed += res.Elapsed
-		switch res.Outcome {
-		case baseband.Dropped:
-			p.sent++
-			return PacketLost, elapsed + 30*sim.Second
-		case baseband.Corrupted:
-			p.sent++
-			return PacketCorrupted, elapsed
-		}
-	}
+	plan := l2cap.PlanSDU(size, pt)
+	res := p.host.Tx.SendSDU(pt, plan.Count, plan.Budget, plan.LastLen)
 	p.sent++
-	return PacketDelivered, elapsed
+	switch res.Outcome {
+	case baseband.Dropped:
+		return PacketLost, res.Elapsed + 30*sim.Second
+	case baseband.Corrupted:
+		return PacketCorrupted, res.Elapsed
+	}
+	return PacketDelivered, res.Elapsed
 }
 
 // Socket is the IP socket layer entry point for the bind race.

@@ -14,6 +14,7 @@ package testbed
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -226,8 +227,28 @@ func NewCampaign(seed uint64, scenario recovery.Scenario,
 }
 
 // Run drives both testbeds for the duration (with the hardware replacement
-// at the midpoint, as in the paper) and returns their results.
+// at the midpoint, as in the paper) and returns their results. The two
+// testbeds are fully independent simulations — each owns its kernel, RNG
+// rig, hosts and logs — so they run on separate goroutines; per-seed
+// determinism is untouched because no state crosses the boundary until both
+// have finished. Use RunSequential to force single-threaded execution.
 func (c *Campaign) Run(duration sim.Time) (randomRes, realisticRes *Results) {
+	c.Random.opts.ReplaceHardwareAt = duration / 2
+	c.Realistic.opts.ReplaceHardwareAt = duration / 2
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Random.Run(duration)
+	}()
+	c.Realistic.Run(duration)
+	wg.Wait()
+	return c.Random.Results(), c.Realistic.Results()
+}
+
+// RunSequential is Run on a single goroutine (the Parallelism <= 1 path of
+// campaign configs); it produces results identical to Run.
+func (c *Campaign) RunSequential(duration sim.Time) (randomRes, realisticRes *Results) {
 	c.Random.opts.ReplaceHardwareAt = duration / 2
 	c.Realistic.opts.ReplaceHardwareAt = duration / 2
 	c.Random.Run(duration)

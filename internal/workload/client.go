@@ -62,6 +62,14 @@ type Client struct {
 
 	// Transfer progress, preserved across masked-loss retries.
 	sendLeft, recvLeft int
+
+	// Phase callbacks as pre-bound method values: the client schedules
+	// hundreds of thousands of phase transitions per virtual day, and a
+	// fresh method-value closure per schedule was one of the larger
+	// allocation sources in the campaign profile.
+	fnCycleStart, fnSearchPhase, fnSDPPhase, fnConnectPhase func()
+	fnBindPhase, fnBindDo, fnTransferPhase, fnTransferLoop  func()
+	fnDisconnectPhase                                       func()
 }
 
 // NewClient builds a BlueTest client for a PANU host targeting the NAP.
@@ -78,7 +86,7 @@ func NewClient(cfg Config, world *sim.World, host, napHost *stack.Host, testLog 
 	if testLog == nil {
 		panic("workload: nil test log")
 	}
-	return &Client{
+	c := &Client{
 		cfg:      cfg,
 		world:    world,
 		host:     host,
@@ -88,6 +96,16 @@ func NewClient(cfg Config, world *sim.World, host, napHost *stack.Host, testLog 
 		rng:      world.RNG("workload." + host.Node),
 		counters: NewCounters(),
 	}
+	c.fnCycleStart = c.cycleStart
+	c.fnSearchPhase = c.searchPhase
+	c.fnSDPPhase = c.sdpPhase
+	c.fnConnectPhase = c.connectPhase
+	c.fnBindPhase = c.bindPhase
+	c.fnBindDo = c.bindDo
+	c.fnTransferPhase = c.transferPhase
+	c.fnTransferLoop = c.transferLoop
+	c.fnDisconnectPhase = c.disconnectPhase
+	return c
 }
 
 // Counters exposes the accumulated statistics.
@@ -104,7 +122,7 @@ func (c *Client) Start() {
 	}
 	c.running = true
 	offset := sim.Time(c.rng.Int64N(int64(10 * sim.Second)))
-	c.world.After(offset, c.cycleStart)
+	c.world.ScheduleAfter(offset, c.fnCycleStart)
 }
 
 // Stop halts the client after the current phase.
@@ -115,7 +133,7 @@ func (c *Client) at(d sim.Time, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	c.world.After(d, fn)
+	c.world.ScheduleAfter(d, fn)
 }
 
 // samplePlan draws the cycle's random variables.
@@ -266,7 +284,7 @@ func (c *Client) masked(f core.UserFailure) {
 func (c *Client) failAndRestart(out recovery.Outcome) {
 	c.teardown()
 	off := c.offTime()
-	c.at(out.TTR+off, c.cycleStart)
+	c.at(out.TTR+off, c.fnCycleStart)
 }
 
 // teardown quietly drops connection state.
@@ -300,7 +318,7 @@ func (c *Client) cycleStart() {
 		// Consecutive cycle over the same connection (realistic WL).
 		c.cycleIdx++
 		c.reusedIdle = true
-		c.at(0, c.transferPhase)
+		c.at(0, c.fnTransferPhase)
 		return
 	}
 	c.reusedIdle = false
@@ -316,7 +334,7 @@ func (c *Client) cycleStart() {
 			return
 		}
 	}
-	c.at(dur, c.searchPhase)
+	c.at(dur, c.fnSearchPhase)
 }
 
 // searchPhase establishes the baseband link; the SDP search itself runs in
@@ -330,11 +348,11 @@ func (c *Client) searchPhase() {
 	hd, res := c.host.HCI.CreateConnection(c.napHost.Node)
 	if res.Err != nil {
 		// The baseband link itself failed: the user sees a connect failure.
-		c.failTransient(core.UFConnectFailed, c.searchPhase)
+		c.failTransient(core.UFConnectFailed, c.fnSearchPhase)
 		return
 	}
 	c.hd = hd
-	c.at(res.Dur, c.sdpPhase)
+	c.at(res.Dur, c.fnSDPPhase)
 }
 
 // sdpPhase runs the SDP search when the SDP flag (or the always-search
@@ -381,7 +399,7 @@ func (c *Client) sdpPhase() {
 			if errors.Is(err, errNAPNotFound) {
 				c.failAndRestart(c.report(core.UFNAPNotFound))
 			} else {
-				c.failTransient(core.UFSDPSearchFailed, c.sdpPhase)
+				c.failTransient(core.UFSDPSearchFailed, c.fnSDPPhase)
 			}
 			return
 		}
@@ -394,7 +412,7 @@ func (c *Client) sdpPhase() {
 			}
 		}
 	}
-	c.at(dur, c.connectPhase)
+	c.at(dur, c.fnConnectPhase)
 }
 
 // errNAPNotFound distinguishes the empty search result internally.
@@ -408,9 +426,9 @@ func (c *Client) connectPhase() {
 	conn, res := c.host.PANU.Connect(c.hd, c.napHost.NAP, c.freshSDP)
 	if res.Err != nil {
 		if res.Stage == pan.StageL2CAP {
-			c.failTransient(core.UFConnectFailed, c.connectPhase)
+			c.failTransient(core.UFConnectFailed, c.fnConnectPhase)
 		} else {
-			c.failTransient(core.UFPANConnectFailed, c.connectPhase)
+			c.failTransient(core.UFPANConnectFailed, c.fnConnectPhase)
 		}
 		return
 	}
@@ -458,7 +476,7 @@ func (c *Client) connectPhase() {
 	} else {
 		c.cyclesLeft = 1
 	}
-	c.at(dur+c.cfg.BindDelay, c.bindPhase)
+	c.at(dur+c.cfg.BindDelay, c.fnBindPhase)
 }
 
 // bindPhase binds the IP socket, racing T_C and T_H unless masked.
@@ -474,7 +492,7 @@ func (c *Client) bindPhase() {
 		if wouldFail {
 			c.masked(core.UFBindFailed)
 			wait := c.host.WaitForBind(c.conn, c.connectedAt)
-			c.at(wait, c.bindDo)
+			c.at(wait, c.fnBindDo)
 			return
 		}
 	}
@@ -491,7 +509,7 @@ func (c *Client) bindDo() {
 		c.failAndRestart(out)
 		return
 	}
-	c.at(sim.Millisecond, c.transferPhase)
+	c.at(sim.Millisecond, c.fnTransferPhase)
 }
 
 // transferPhase begins the cycle's data transfer.
@@ -511,7 +529,7 @@ func (c *Client) transferLoop() {
 		// The connection evaporated between cycles (e.g. a reset from a
 		// prior failure): rebuild on the next cycle.
 		c.teardown()
-		c.at(c.offTime(), c.cycleStart)
+		c.at(c.offTime(), c.fnCycleStart)
 		return
 	}
 	var dur sim.Time
@@ -536,7 +554,7 @@ func (c *Client) transferLoop() {
 					// let the fade pass (pipe slots advance with the wait),
 					// resume the remaining transfer.
 					c.masked(core.UFPacketLoss)
-					c.at(dur+recovery.MaskRetryWait, c.transferLoop)
+					c.at(dur+recovery.MaskRetryWait, c.fnTransferLoop)
 					return
 				} else if depth != core.RANone {
 					c.recordIdleOutcome(true)
@@ -553,7 +571,7 @@ func (c *Client) transferLoop() {
 		}
 	}
 	c.recordIdleOutcome(false)
-	c.at(dur, c.disconnectPhase)
+	c.at(dur, c.fnDisconnectPhase)
 }
 
 // recordIdleOutcome feeds the idle-time analysis for reused connections.
@@ -580,7 +598,7 @@ func (c *Client) disconnectPhase() {
 	c.idleBefore = off
 	if c.cyclesLeft > 0 && c.conn != nil && c.conn.Open {
 		// Stay connected; idle T_W, then the next consecutive cycle.
-		c.at(off, c.cycleStart)
+		c.at(off, c.fnCycleStart)
 		return
 	}
 	if c.conn != nil {
@@ -590,5 +608,5 @@ func (c *Client) disconnectPhase() {
 	c.pipe = nil
 	c.hd = hci.InvalidHandle
 	c.cycleIdx = 0
-	c.at(off, c.cycleStart)
+	c.at(off, c.fnCycleStart)
 }

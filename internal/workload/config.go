@@ -139,8 +139,10 @@ type Counters struct {
 	Masked map[core.UserFailure]int
 
 	// PacketsByType / LossesByType drive Figure 3a (usage and losses).
-	PacketsByType map[core.PacketType]int64
-	LossesByType  map[core.PacketType]int64
+	// Dense arrays indexed by packet type: these are bumped once per
+	// workload packet, where a map operation is measurable campaign cost.
+	PacketsByType [core.NumPacketTypes]int64
+	LossesByType  [core.NumPacketTypes]int64
 
 	// IdleBeforeFailed / IdleBeforeClean accumulate the T_W preceding
 	// failed and failure-free cycles on reused connections (the idle-time
@@ -152,10 +154,8 @@ type Counters struct {
 // NewCounters allocates the maps.
 func NewCounters() *Counters {
 	return &Counters{
-		Failures:      make(map[core.UserFailure]int),
-		Masked:        make(map[core.UserFailure]int),
-		PacketsByType: make(map[core.PacketType]int64),
-		LossesByType:  make(map[core.PacketType]int64),
+		Failures: make(map[core.UserFailure]int),
+		Masked:   make(map[core.UserFailure]int),
 	}
 }
 

@@ -1,0 +1,29 @@
+#!/bin/sh
+# bench.sh runs the end-to-end campaign throughput benchmark and emits
+# BENCH_campaign.json with ns/op, B/op, and allocs/op, so the performance
+# trajectory is tracked across PRs. Usage: scripts/bench.sh [benchtime]
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-5x}"
+
+out="$(go test -run '^$' -bench BenchmarkCampaignDay -benchtime "$benchtime" -benchmem . | tee /dev/stderr)"
+
+echo "$out" | awk '
+/^BenchmarkCampaignDay/ {
+    ns = $3; bytes = $5; allocs = $7
+}
+END {
+    if (ns == "") {
+        print "bench.sh: no BenchmarkCampaignDay line found" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkCampaignDay\",\n"
+    printf "  \"ns_per_op\": %s,\n", ns
+    printf "  \"bytes_per_op\": %s,\n", bytes
+    printf "  \"allocs_per_op\": %s\n", allocs
+    printf "}\n"
+}' >BENCH_campaign.json
+
+cat BENCH_campaign.json
