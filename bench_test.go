@@ -9,11 +9,13 @@ package btpan
 //	go test -bench=. -benchmem
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/testbed"
 )
 
@@ -207,18 +209,49 @@ func BenchmarkSection6Scalars(b *testing.B) {
 		s.DistanceShares[0.5], s.DistanceShares[5], s.DistanceShares[7])
 }
 
-// BenchmarkCampaignDay measures end-to-end simulation throughput: one
-// virtual day of both testbeds per iteration.
-func BenchmarkCampaignDay(b *testing.B) {
+// benchCampaignDays times end-to-end campaigns of the given length on
+// either aggregation plane. live-MB is the heap growth still held after the
+// run while the last result is alive — the memory the aggregation plane
+// actually retains (O(days) for retained records, O(1) for streaming).
+func benchCampaignDays(b *testing.B, days int, streaming bool) {
+	b.Helper()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	var keep *CampaignResult
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := RunCampaign(CampaignConfig{
-			Seed: uint64(i + 1), Duration: 1 * Day, Scenario: ScenarioSIRAs,
+		res, err := RunCampaign(CampaignConfig{
+			Seed: uint64(i + 1), Duration: sim.Time(days) * Day,
+			Scenario: ScenarioSIRAs, Streaming: streaming,
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
+		keep = res
 	}
+	b.StopTimer()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	b.ReportMetric((float64(after.HeapAlloc)-float64(before.HeapAlloc))/1e6, "live-MB")
+	_, _, tot := keep.DataItems()
+	b.ReportMetric(float64(tot), "items")
 }
+
+// BenchmarkCampaignDay measures end-to-end simulation throughput: one
+// virtual day of both testbeds per iteration (retained records — the PR 1
+// trajectory metric).
+func BenchmarkCampaignDay(b *testing.B) { benchCampaignDays(b, 1, false) }
+
+// BenchmarkCampaignMonth measures a month-scale campaign: 30 virtual days
+// per iteration with records folded into streaming aggregates in flight.
+// Compare live-MB against BenchmarkCampaignMonthRetained: the streaming
+// plane's retained heap does not grow with campaign length.
+func BenchmarkCampaignMonth(b *testing.B) { benchCampaignDays(b, 30, true) }
+
+// BenchmarkCampaignMonthRetained is the 30-day control on the retained
+// plane (every record kept in RAM).
+func BenchmarkCampaignMonthRetained(b *testing.B) { benchCampaignDays(b, 30, false) }
 
 // barString renders bars compactly for bench logs.
 func barString(bars []analysis.Bar) string {

@@ -67,6 +67,18 @@ type CampaignConfig struct {
 	// 1 forces a single goroutine. Values above 1 behave like 0 — a
 	// campaign has exactly two independent simulations to overlap.
 	Parallelism int
+	// Streaming selects the O(1)-memory aggregation plane: node logs are
+	// drained every FlushEvery of virtual time into a streaming aggregator
+	// that folds records into the running aggregates behind Table 2/3/4,
+	// the figures and the §6 scalars, instead of retaining every record.
+	// The resulting tables are bit-identical to a retained run of the same
+	// seed (see TestStreamingEquivalence); raw-record views (AllReports,
+	// Evidence, SensitivityCurve) are unavailable in this mode.
+	Streaming bool
+	// FlushEvery is the virtual-time log drain cadence in streaming mode
+	// (default one virtual hour). Shorter intervals bound pending memory
+	// tighter; the aggregates do not depend on the cadence.
+	FlushEvery sim.Time
 }
 
 // Validate reports configuration errors.
@@ -77,14 +89,22 @@ func (c CampaignConfig) Validate() error {
 	if c.Scenario < ScenarioRebootOnly || c.Scenario > ScenarioSIRAsMasking {
 		return fmt.Errorf("btpan: unknown scenario %d", c.Scenario)
 	}
+	if c.FlushEvery < 0 {
+		return fmt.Errorf("btpan: negative streaming flush interval")
+	}
 	return nil
 }
 
-// CampaignResult bundles both testbeds' collected data.
+// CampaignResult bundles both testbeds' collected data. In retained mode
+// Random/Realistic hold every record; in streaming mode they hold only the
+// light parts (names, durations, per-client counters) and Agg holds the
+// folded aggregates.
 type CampaignResult struct {
 	Config    CampaignConfig
 	Random    *testbed.Results
 	Realistic *testbed.Results
+	// Agg is the streaming aggregation state (nil in retained mode).
+	Agg *analysis.Aggregates
 }
 
 // RunCampaign builds both testbeds (random and realistic workloads, seven
@@ -100,16 +120,36 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		return nil, err
 	}
 	var randomRes, realisticRes *testbed.Results
-	if cfg.Parallelism == 1 {
+	var agg *analysis.Aggregates
+	if cfg.Streaming {
+		flush := cfg.FlushEvery
+		if flush == 0 {
+			flush = sim.Hour
+		}
+		s, err := analysis.NewStreamer(c.StreamSpec())
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Parallelism == 1 {
+			randomRes, realisticRes = c.RunStreamingSequential(cfg.Duration, flush, s)
+		} else {
+			randomRes, realisticRes = c.RunStreaming(cfg.Duration, flush, s)
+		}
+		agg = s.Finalize()
+	} else if cfg.Parallelism == 1 {
 		randomRes, realisticRes = c.RunSequential(cfg.Duration)
 	} else {
 		randomRes, realisticRes = c.Run(cfg.Duration)
 	}
-	return &CampaignResult{Config: cfg, Random: randomRes, Realistic: realisticRes}, nil
+	return &CampaignResult{Config: cfg, Random: randomRes, Realistic: realisticRes, Agg: agg}, nil
 }
 
 // AllReports returns both testbeds' user reports (time-sorted per testbed).
+// Streaming campaigns do not retain records: the result is nil.
 func (r *CampaignResult) AllReports() []core.UserReport {
+	if r.Agg != nil {
+		return nil
+	}
 	out := make([]core.UserReport, 0, len(r.Random.Reports)+len(r.Realistic.Reports))
 	out = append(out, r.Random.Reports...)
 	out = append(out, r.Realistic.Reports...)
@@ -119,19 +159,40 @@ func (r *CampaignResult) AllReports() []core.UserReport {
 // DataItems reports the dataset sizes: user reports, system entries, total
 // (the paper collected 20,854 + 335,697 = 356,551 items over 18 months).
 func (r *CampaignResult) DataItems() (userReports, systemEntries, total int) {
+	if r.Agg != nil {
+		return r.Agg.DataItems()
+	}
 	u := len(r.Random.Reports) + len(r.Realistic.Reports)
 	s := len(r.Random.Entries) + len(r.Realistic.Entries)
 	return u, s, u + s
 }
 
 // Evidence runs the merge-and-coalesce pipeline over both testbeds with the
-// given window and returns the accumulated error-failure evidence.
+// given window and returns the accumulated error-failure evidence. A
+// streaming campaign folds evidence at its configured window/radius as
+// records arrive, so it can only answer for those parameters: any other
+// window returns nil — rerun retained for window/radius ablations (the
+// sensitivity sweep needs raw events anyway).
 func (r *CampaignResult) Evidence(window sim.Time) *coalesce.Evidence {
+	if r.Agg != nil {
+		if window == r.Agg.Window {
+			return r.Agg.Evidence
+		}
+		return nil
+	}
 	return r.EvidenceRadius(window, coalesce.RelateRadius)
 }
 
-// EvidenceRadius is Evidence with an explicit adjacency radius.
+// EvidenceRadius is Evidence with an explicit adjacency radius. Streaming
+// campaigns answer only for their configured (window, radius) and return
+// nil otherwise.
 func (r *CampaignResult) EvidenceRadius(window, radius sim.Time) *coalesce.Evidence {
+	if r.Agg != nil {
+		if window == r.Agg.Window && radius == r.Agg.Radius {
+			return r.Agg.Evidence
+		}
+		return nil
+	}
 	ev := coalesce.NewEvidence()
 	analysis.BuildEvidenceWithRadius(ev, r.Random.PerNodeReports, r.Random.PerNodeEntries,
 		r.Random.NAPNode, window, radius)
@@ -143,23 +204,37 @@ func (r *CampaignResult) EvidenceRadius(window, radius sim.Time) *coalesce.Evide
 // Table2 computes the error-failure relationship table at the paper's 330 s
 // coalescence window.
 func (r *CampaignResult) Table2() *analysis.Table2 {
+	if r.Agg != nil {
+		return r.Agg.Table2()
+	}
 	return analysis.BuildTable2(r.Evidence(coalesce.PaperWindow))
 }
 
 // Table3 computes the SIRA effectiveness table from both testbeds.
 func (r *CampaignResult) Table3() *analysis.Table3 {
+	if r.Agg != nil {
+		return r.Agg.Table3()
+	}
 	return analysis.BuildTable3(r.AllReports())
 }
 
 // Dependability computes one Table 4 column from this campaign.
 func (r *CampaignResult) Dependability() *analysis.Dependability {
+	if r.Agg != nil {
+		return r.Agg.Dependability(r.Config.Scenario.String())
+	}
 	return analysis.BuildDependability(r.Config.Scenario.String(), r.AllReports(),
 		r.Config.Duration)
 }
 
 // SensitivityCurve reproduces Figure 2's inset: tuple count versus
-// coalescence window over both testbeds' merged logs, plus the knee.
+// coalescence window over both testbeds' merged logs, plus the knee. The
+// sweep needs the raw event stream, so streaming campaigns return nil (run
+// a short retained campaign for Figure 2 — the knee stabilizes within days).
 func (r *CampaignResult) SensitivityCurve() (curve *stats.Curve, kneeSeconds float64) {
+	if r.Agg != nil {
+		return nil, 0
+	}
 	events := rebuildEvents(r)
 	curve = coalesce.Sensitivity(events, coalesce.DefaultWindows())
 	knee, _ := curve.Knee()
@@ -184,6 +259,9 @@ func (r *CampaignResult) Fig3a() []analysis.Bar {
 
 // Fig3c computes the packet-loss-by-application distribution (realistic WL).
 func (r *CampaignResult) Fig3c() []analysis.Bar {
+	if r.Agg != nil {
+		return r.Agg.Fig3c()
+	}
 	return analysis.Fig3cApplications(r.Realistic.Reports)
 }
 
@@ -193,17 +271,29 @@ func (r *CampaignResult) Fig3c() []analysis.Bar {
 // command) accumulate enough occurrences to be visible (documented
 // substitution, see EXPERIMENTS.md).
 func (r *CampaignResult) Fig4() []analysis.Fig4Row {
+	if r.Agg != nil {
+		return r.Agg.Fig4()
+	}
 	return analysis.Fig4PerHost(r.AllReports())
 }
 
-// Scalars computes the §6 scalar findings.
-func (r *CampaignResult) Scalars() *analysis.Scalars {
+// countersMap merges both testbeds' per-client counters under prefixed keys.
+func (r *CampaignResult) countersMap() map[string]*workload.Counters {
 	counters := make(map[string]*workload.Counters)
 	for k, v := range r.Realistic.Counters {
 		counters["realistic/"+k] = v
 	}
 	for k, v := range r.Random.Counters {
 		counters["random/"+k] = v
+	}
+	return counters
+}
+
+// Scalars computes the §6 scalar findings.
+func (r *CampaignResult) Scalars() *analysis.Scalars {
+	counters := r.countersMap()
+	if r.Agg != nil {
+		return r.Agg.Scalars(counters)
 	}
 	_, sys, _ := r.DataItems()
 	return analysis.BuildScalars(r.Random.Reports, r.Realistic.Reports, counters, sys)

@@ -1,14 +1,22 @@
-// Command btcampaign runs a failure-data collection campaign on the two
-// simulated testbeds and persists the collected logs.
+// Command btcampaign runs failure-data collection campaigns on the two
+// simulated testbeds.
 //
-// The collection path mirrors the paper's infrastructure: each node's
+// Single-seed mode mirrors the paper's infrastructure: each node's
 // LogAnalyzer daemon extracts and filters its Test/System logs and ships
-// them over TCP to a central repository; the repository contents are then
-// written to JSON-line files for later analysis with btanalyze.
+// them over TCP (compact binary frames by default, -codec json for
+// debugging) to a central repository; the repository contents are written to
+// JSON-line files for later analysis with btanalyze. With -stream the
+// campaign instead folds records into running aggregates as they are
+// collected — O(1) memory in campaign length — and prints the paper tables
+// directly, which is what makes month-scale runs (-days 30..540) cheap.
+//
+// Multi-seed mode (-seeds N) runs a sweep on a bounded worker pool and
+// reports every table as mean ± 95 % confidence interval over the seeds.
 //
 // Usage:
 //
-//	btcampaign [-seed N] [-days D] [-scenario 1..4] [-out DIR]
+//	btcampaign [-seed N] [-days 1..540] [-scenario 1..4] [-out DIR]
+//	           [-codec binary|json] [-stream] [-seeds N] [-workers W]
 package main
 
 import (
@@ -27,20 +35,39 @@ import (
 )
 
 func main() {
-	seed := flag.Uint64("seed", 1, "campaign seed")
-	days := flag.Int("days", 4, "virtual campaign days")
+	seed := flag.Uint64("seed", 1, "campaign seed (sweeps use seed..seed+seeds-1)")
+	days := flag.Int("days", 4, "virtual campaign days (1..540; 30+ is month scale)")
 	scenario := flag.Int("scenario", int(btpan.ScenarioSIRAs),
 		"recovery scenario: 1=reboot only, 2=app restart+reboot, 3=SIRAs, 4=SIRAs+masking")
-	out := flag.String("out", "campaign-data", "output directory")
+	out := flag.String("out", "campaign-data", "output directory (single-seed retained mode)")
+	codecName := flag.String("codec", "binary", "collection wire codec: binary or json")
+	stream := flag.Bool("stream", false, "streaming aggregation: fold records instead of retaining them")
+	seeds := flag.Int("seeds", 1, "number of sweep seeds (>1 enables sweep mode with 95% CIs)")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = NumCPU/2)")
 	flag.Parse()
 
-	cfg := btpan.CampaignConfig{
-		Seed:     *seed,
-		Duration: sim.Time(*days) * sim.Day,
-		Scenario: btpan.Scenario(*scenario),
+	if *days < 1 || *days > 540 {
+		fatal(fmt.Errorf("-days %d out of range 1..540 (the paper's campaign was 540 days)", *days))
 	}
-	fmt.Printf("running %v campaign (scenario %q, seed %d)...\n",
-		cfg.Duration, cfg.Scenario, cfg.Seed)
+	codec, err := collector.ParseCodec(*codecName)
+	if err != nil {
+		fatal(err)
+	}
+	duration := sim.Time(*days) * sim.Day
+
+	if *seeds > 1 {
+		runSweep(*seed, *seeds, duration, btpan.Scenario(*scenario), *workers)
+		return
+	}
+
+	cfg := btpan.CampaignConfig{
+		Seed:      *seed,
+		Duration:  duration,
+		Scenario:  btpan.Scenario(*scenario),
+		Streaming: *stream,
+	}
+	fmt.Printf("running %v campaign (scenario %q, seed %d, %s)...\n",
+		cfg.Duration, cfg.Scenario, cfg.Seed, mode(*stream))
 	res, err := btpan.RunCampaign(cfg)
 	if err != nil {
 		fatal(err)
@@ -48,8 +75,56 @@ func main() {
 	u, s, tot := res.DataItems()
 	fmt.Printf("collected %d user reports + %d system entries = %d items\n", u, s, tot)
 
-	// Ship everything through the real collection path: one LogAnalyzer per
-	// node, a central repository over loopback TCP.
+	if *stream {
+		// Records were folded as they streamed off the nodes; print the
+		// tables straight from the aggregates.
+		d := res.Dependability()
+		fmt.Printf("MTTF %.2f s, MTTR %.2f s, availability %.3f, coverage %.1f%%\n",
+			d.MTTF, d.MTTR, d.Availability, d.CoveragePct)
+		fmt.Printf("\nTable 2 (error-failure relationship)\n%s", res.Table2().Render())
+		fmt.Printf("\nTable 3 (SIRA effectiveness)\n%s", res.Table3().Render())
+		return
+	}
+
+	shipAndPersist(res, codec, *out)
+	d := res.Dependability()
+	fmt.Printf("MTTF %.2f s, MTTR %.2f s, availability %.3f, coverage %.1f%%\n",
+		d.MTTF, d.MTTR, d.Availability, d.CoveragePct)
+}
+
+func mode(stream bool) string {
+	if stream {
+		return "streaming aggregation"
+	}
+	return "retained records"
+}
+
+// runSweep runs the multi-seed sweep and prints every table with 95 % CIs.
+func runSweep(baseSeed uint64, seeds int, duration sim.Time, scenario btpan.Scenario, workers int) {
+	fmt.Printf("sweeping %d seeds x %v (scenario %q, %d workers)...\n",
+		seeds, duration, scenario, workers)
+	start := time.Now()
+	res, err := btpan.Sweep(btpan.SweepConfig{
+		BaseSeed: baseSeed, Seeds: seeds, Duration: duration,
+		Scenario: scenario, Workers: workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sweep finished in %v\n\n", time.Since(start).Round(time.Millisecond))
+	sc := res.ScalarsCI()
+	fmt.Printf("data items per seed: %s user reports, %s system entries\n",
+		sc.UserReports.Format("%.0f"), sc.SystemEntries.Format("%.0f"))
+	fmt.Printf("random-workload share: %s%% (paper: 84%%)\n\n", sc.RandomSharePct.Format("%.1f"))
+	fmt.Printf("Table 2 (error-failure relationship, mean ± 95%% CI)\n%s\n", res.Table2CI().Render())
+	fmt.Printf("Table 3 (SIRA effectiveness, mean ± 95%% CI)\n%s\n", res.Table3CI().Render())
+	fmt.Printf("Table 4 column (dependability, mean ± 95%% CI)\n%s", res.DependabilityCI().Render())
+}
+
+// shipAndPersist pushes the retained campaign through the real collection
+// path — one LogAnalyzer per node, a central repository over loopback TCP —
+// and writes the repository contents to JSON-line files.
+func shipAndPersist(res *btpan.CampaignResult, codec collector.Codec, out string) {
 	repo, err := collector.NewRepository("127.0.0.1:0")
 	if err != nil {
 		fatal(err)
@@ -58,32 +133,27 @@ func main() {
 
 	shippedBatches := 0
 	ship := func(tb *testbed.Results) {
-		for node, reports := range tb.PerNodeReports {
+		flush := func(node string, reports []core.UserReport, entries []core.SystemEntry) {
 			test := logging.NewTestLog(node)
 			for _, r := range reports {
 				test.Append(r)
 			}
 			sys := logging.NewSystemLog(node)
-			for _, e := range tb.PerNodeEntries[node] {
+			for _, e := range entries {
 				sys.Append(e)
 			}
 			a := collector.NewLogAnalyzer(node, tb.Name, test, sys, repo.Addr(), collector.DefaultFilter())
+			a.Codec = codec
 			if err := a.FlushOnce(); err != nil {
 				fatal(err)
 			}
 			shippedBatches += a.Shipped()
 		}
+		for node, reports := range tb.PerNodeReports {
+			flush(node, reports, tb.PerNodeEntries[node])
+		}
 		// The NAP has no Test Log, only a System Log.
-		sys := logging.NewSystemLog(tb.NAPNode)
-		for _, e := range tb.PerNodeEntries[tb.NAPNode] {
-			sys.Append(e)
-		}
-		a := collector.NewLogAnalyzer(tb.NAPNode, tb.Name, logging.NewTestLog(tb.NAPNode),
-			sys, repo.Addr(), collector.DefaultFilter())
-		if err := a.FlushOnce(); err != nil {
-			fatal(err)
-		}
-		shippedBatches += a.Shipped()
+		flush(tb.NAPNode, nil, tb.PerNodeEntries[tb.NAPNode])
 	}
 	ship(res.Random)
 	ship(res.Realistic)
@@ -93,7 +163,7 @@ func main() {
 		fatal(fmt.Errorf("repository received fewer batches than shipped (%d expected)", shippedBatches))
 	}
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
+	if err := os.MkdirAll(out, 0o755); err != nil {
 		fatal(err)
 	}
 	reports := repo.Reports()
@@ -101,18 +171,14 @@ func main() {
 	logging.SortUserReports(reports)
 	logging.SortSystemEntries(entries)
 
-	if err := writeReports(filepath.Join(*out, "user.jsonl"), reports); err != nil {
+	if err := writeReports(filepath.Join(out, "user.jsonl"), reports); err != nil {
 		fatal(err)
 	}
-	if err := writeEntries(filepath.Join(*out, "system.jsonl"), entries); err != nil {
+	if err := writeEntries(filepath.Join(out, "system.jsonl"), entries); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("repository stored %d reports / %d entries -> %s/{user,system}.jsonl\n",
-		len(reports), len(entries), *out)
-
-	d := res.Dependability()
-	fmt.Printf("MTTF %.2f s, MTTR %.2f s, availability %.3f, coverage %.1f%%\n",
-		d.MTTF, d.MTTR, d.Availability, d.CoveragePct)
+	fmt.Printf("repository stored %d reports / %d entries (%s codec) -> %s/{user,system}.jsonl\n",
+		len(reports), len(entries), codec, out)
 }
 
 func writeReports(path string, reports []core.UserReport) error {

@@ -1,28 +1,37 @@
 // Campaign: the full collection pipeline, end to end — two 7-node testbeds
 // under their workloads, per-node LogAnalyzer daemons filtering and shipping
-// failure data over TCP to a central repository, and the merge-and-coalesce
-// analysis run over the repository's contents (exactly the paper's §3
-// infrastructure).
+// failure data over TCP (compact binary frames) to a central repository that
+// folds the records into running aggregates as they arrive (exactly the
+// paper's §3 infrastructure, scaled for month-long campaigns), followed by a
+// multi-seed sweep that puts 95 % confidence intervals on Table 2.
+//
+// Usage: campaign [-days D] [-seeds N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"time"
 
 	btpan "repro"
 	"repro/internal/analysis"
-	"repro/internal/coalesce"
 	"repro/internal/collector"
 	"repro/internal/core"
 	"repro/internal/logging"
+	"repro/internal/sim"
 	"repro/internal/testbed"
 )
 
 func main() {
-	fmt.Println("1. running both testbeds for 3 virtual days...")
+	days := flag.Int("days", 2, "virtual days per campaign")
+	seeds := flag.Int("seeds", 3, "sweep seeds for the confidence intervals")
+	flag.Parse()
+	duration := sim.Time(*days) * btpan.Day
+
+	fmt.Printf("1. running both testbeds for %d virtual day(s)...\n", *days)
 	res, err := btpan.RunCampaign(btpan.CampaignConfig{
 		Seed:     11,
-		Duration: 3 * btpan.Day,
+		Duration: duration,
 		Scenario: btpan.ScenarioSIRAs,
 	})
 	if err != nil {
@@ -31,15 +40,15 @@ func main() {
 	u, s, _ := res.DataItems()
 	fmt.Printf("   %d user reports, %d system entries on the nodes' local logs\n", u, s)
 
-	fmt.Println("2. starting the central repository (TCP)...")
-	repo, err := collector.NewRepository("127.0.0.1:0")
+	fmt.Println("2. starting the central repository (TCP, streaming aggregation)...")
+	repo, err := collector.NewStreamingRepository("127.0.0.1:0", streamSpec(res))
 	if err != nil {
 		panic(err)
 	}
 	defer repo.Close()
 	fmt.Printf("   listening on %s\n", repo.Addr())
 
-	fmt.Println("3. each node's LogAnalyzer extracts, filters, ships...")
+	fmt.Println("3. each node's LogAnalyzer extracts, filters, ships binary frames...")
 	analyzers := 0
 	for _, tb := range []*testbed.Results{res.Random, res.Realistic} {
 		for node := range tb.PerNodeEntries {
@@ -56,60 +65,59 @@ func main() {
 			if err := a.FlushOnce(); err != nil {
 				panic(err)
 			}
-			analyzers++
+			// An empty extraction ships no batch; count what actually went
+			// out, or the rendezvous below would wait for ghosts.
+			analyzers += a.Shipped()
 		}
 	}
-	// Wait for the asynchronous receive side to drain.
-	deadline := time.Now().Add(3 * time.Second)
-	for {
-		_, entries, batches := repo.Stats()
-		if batches >= analyzers || time.Now().After(deadline) {
-			_ = entries
-			break
-		}
-		time.Sleep(10 * time.Millisecond)
+	// Rendezvous with the asynchronous receive side (no sleep polling: the
+	// repository signals as batches land and wakes waiters on close).
+	if !repo.WaitForBatches(analyzers, 5*time.Second) {
+		panic("repository did not receive every batch")
+	}
+	if n := repo.Rejected(); n > 0 {
+		panic(fmt.Sprintf("repository rejected %d batches", n))
 	}
 	gotReports, gotEntries, batches := repo.Stats()
-	fmt.Printf("   %d daemons shipped %d batches: repository holds %d reports / %d entries\n",
+	fmt.Printf("   %d daemons shipped %d batches: repository folded %d reports / %d entries\n",
 		analyzers, batches, gotReports, gotEntries)
 
-	fmt.Println("4. merge-and-coalesce over the repository data...")
-	reports := repo.Reports()
-	entries := repo.Entries()
-	events := coalesce.Merge(reports, entries)
-	curve := coalesce.Sensitivity(events, coalesce.DefaultWindows())
-	knee, _ := curve.Knee()
-	fmt.Printf("   sensitivity knee at %.0f s (paper: 330 s)\n", knee)
-
-	perNodeReports := map[string][]core.UserReport{}
-	perNodeEntries := map[string][]core.SystemEntry{}
-	for _, r := range reports {
-		key := r.Testbed + "/" + r.Node
-		perNodeReports[key] = append(perNodeReports[key], r)
-	}
-	for _, e := range entries {
-		key := e.Testbed + "/" + e.Node
-		perNodeEntries[key] = append(perNodeEntries[key], e)
-	}
-	// Present per testbed so the NAP log pairs with its own PANUs.
-	ev := coalesce.NewEvidence()
-	for _, tbName := range []string{"random", "realistic"} {
-		nr := map[string][]core.UserReport{}
-		ne := map[string][]core.SystemEntry{}
-		for k, v := range perNodeReports {
-			if len(k) > len(tbName) && k[:len(tbName)] == tbName {
-				nr[k[len(tbName)+1:]] = v
-			}
-		}
-		for k, v := range perNodeEntries {
-			if len(k) > len(tbName) && k[:len(tbName)] == tbName {
-				ne[k[len(tbName)+1:]] = v
-			}
-		}
-		analysis.BuildEvidence(ev, nr, ne, "Giallo", coalesce.PaperWindow)
-	}
-	t2 := analysis.BuildTable2(ev)
+	fmt.Println("4. the paper tables come straight from the folded aggregates...")
+	agg := repo.Aggregates()
+	t2 := agg.Table2()
 	fmt.Printf("   HCI share of user failures: %.1f%% (paper: 49.9%%)\n",
 		t2.SourceShare(core.SrcHCI))
-	fmt.Println("\ndone — see cmd/btanalyze to run this pipeline over files on disk.")
+	d := agg.Dependability(btpan.ScenarioSIRAs.String())
+	fmt.Printf("   MTTF %.2f s, MTTR %.2f s, availability %.3f\n",
+		d.MTTF, d.MTTR, d.Availability)
+
+	fmt.Printf("5. sweeping %d seeds for confidence intervals on Table 2...\n", *seeds)
+	sweep, err := btpan.Sweep(btpan.SweepConfig{
+		BaseSeed: 100, Seeds: *seeds, Duration: duration,
+		Scenario: btpan.ScenarioSIRAs,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println()
+	fmt.Print(sweep.Table2CI().Render())
+	fmt.Println("\ndone — see cmd/btcampaign for month-scale runs (-days 30..540).")
+}
+
+// streamSpec declares the campaign's streams to the repository: node names
+// repeat across the two testbeds, so each (testbed, node) pair is its own
+// shard.
+func streamSpec(res *btpan.CampaignResult) analysis.StreamSpec {
+	spec := analysis.StreamSpec{}
+	for _, tb := range []struct {
+		r    *testbed.Results
+		kind core.WorkloadKind
+	}{{res.Random, core.WLRandom}, {res.Realistic, core.WLRealistic}} {
+		entry := analysis.TestbedSpec{Name: tb.r.Name, Kind: tb.kind, NAP: tb.r.NAPNode}
+		for node := range tb.r.PerNodeReports {
+			entry.PANUs = append(entry.PANUs, node)
+		}
+		spec.Testbeds = append(spec.Testbeds, entry)
+	}
+	return spec
 }

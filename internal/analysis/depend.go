@@ -37,61 +37,79 @@ type Dependability struct {
 	Masked   int
 }
 
+// DependAccum is the streaming accumulator behind a Table 4 column: it folds
+// (unmasked) failure reports in campaign time order and keeps only the
+// running TTF/TTR summaries and coverage counters — O(1) state regardless of
+// campaign length. Reports MUST arrive in the same order the retained
+// estimator processes them (time-sorted, ties in testbed-then-node order)
+// for the Welford accumulation to be bit-identical.
+type DependAccum struct {
+	TTF, TTR stats.Summary
+	Failures int
+	Masked   int
+	Covered  int
+	prevFail sim.Time
+}
+
+// Add folds one report at its position in the time-ordered failure stream.
+func (a *DependAccum) Add(r *core.UserReport) {
+	if r.Masked {
+		a.Masked++
+		return
+	}
+	a.Failures++
+	a.TTF.Add((r.At - a.prevFail).Seconds())
+	a.prevFail = r.At
+	if r.Recovered {
+		a.TTR.Add(r.TTR.Seconds())
+		if r.Recovery >= core.RAIPSocketReset && r.Recovery <= core.RABTStackReset {
+			a.Covered++
+		}
+	}
+}
+
+// Column finalizes the accumulator into a Table 4 column.
+func (a *DependAccum) Column(scenario string) *Dependability {
+	d := &Dependability{Scenario: scenario, Failures: a.Failures, Masked: a.Masked}
+	d.MTTF, d.DevStdTTF = a.TTF.Mean(), a.TTF.StdDev()
+	d.MinTTF, d.MaxTTF = a.TTF.Min(), a.TTF.Max()
+	d.MTTR, d.DevStdTTR = a.TTR.Mean(), a.TTR.StdDev()
+	d.MinTTR, d.MaxTTR = a.TTR.Min(), a.TTR.Max()
+	if d.MTTF+d.MTTR > 0 {
+		d.Availability = d.MTTF / (d.MTTF + d.MTTR)
+	}
+	total := d.Failures + d.Masked
+	if total > 0 {
+		d.MaskingPct = float64(d.Masked) / float64(total) * 100
+		d.CoveragePct = d.MaskingPct + float64(a.Covered)/float64(total)*100
+	}
+	return d
+}
+
 // BuildDependability computes a Table 4 column from the reports of one
 // campaign run under a single scenario. TTF is measured piconet-wide: the
 // gaps between consecutive (unmasked) failure instants across all nodes of
 // the testbed, which matches the paper's "a node in the piconet fails every
 // 30 minutes" reading. duration bounds the observation window.
 func BuildDependability(scenario string, reports []core.UserReport, duration sim.Time) *Dependability {
-	d := &Dependability{Scenario: scenario}
-
-	// Split failure and masked streams; sort by time.
+	// Split failure and masked streams; sort by time. The censored tail
+	// (last failure to end of window) is not a TTF sample; the paper's
+	// estimator uses observed inter-failure gaps.
+	_ = duration
+	var acc DependAccum
 	var failures []core.UserReport
 	for _, r := range reports {
 		if r.Masked {
-			d.Masked++
+			acc.Add(&r)
 			continue
 		}
 		failures = append(failures, r)
 	}
 	sort.SliceStable(failures, func(i, j int) bool { return failures[i].At < failures[j].At })
-	d.Failures = len(failures)
-
-	var ttf, ttr stats.Summary
-	prev := sim.Time(0)
-	for _, r := range failures {
-		gap := r.At - prev
-		ttf.Add(gap.Seconds())
-		prev = r.At
-		if r.Recovered {
-			ttr.Add(r.TTR.Seconds())
-		}
+	for i := range failures {
+		acc.Add(&failures[i])
 	}
-	// The censored tail (last failure to end of window) is not a TTF
-	// sample; the paper's estimator uses observed inter-failure gaps.
-	_ = duration
-
-	d.MTTF, d.DevStdTTF = ttf.Mean(), ttf.StdDev()
-	d.MinTTF, d.MaxTTF = ttf.Min(), ttf.Max()
-	d.MTTR, d.DevStdTTR = ttr.Mean(), ttr.StdDev()
-	d.MinTTR, d.MaxTTR = ttr.Min(), ttr.Max()
-	if d.MTTF+d.MTTR > 0 {
-		d.Availability = d.MTTF / (d.MTTF + d.MTTR)
-	}
-
-	// Coverage: recovered without app restart or reboot.
-	covered := 0
-	for _, r := range failures {
-		if r.Recovered && r.Recovery >= core.RAIPSocketReset && r.Recovery <= core.RABTStackReset {
-			covered++
-		}
-	}
-	total := d.Failures + d.Masked
-	if total > 0 {
-		d.MaskingPct = float64(d.Masked) / float64(total) * 100
-		d.CoveragePct = d.MaskingPct + float64(covered)/float64(total)*100
-	}
-	return d
+	return acc.Column(scenario)
 }
 
 // Table4 collects the four scenario columns.

@@ -87,12 +87,24 @@ func Fig3bConnectionAge(reports []core.UserReport, binWidth, nbins int) []Bar {
 // from realistic-workload reports.
 func Fig3cApplications(reports []core.UserReport) []Bar {
 	counts := make(map[core.AppKind]float64)
-	for _, r := range reports {
-		if r.Masked || r.Failure != core.UFPacketLoss || r.App == core.AppNone {
-			continue
-		}
-		counts[r.App]++
+	for i := range reports {
+		AddFig3c(counts, &reports[i])
 	}
+	return Fig3cFromCounts(counts)
+}
+
+// AddFig3c folds one realistic-workload report into Figure 3c's counts
+// (no-op unless it is an unmasked, app-attributed packet loss).
+func AddFig3c(counts map[core.AppKind]float64, r *core.UserReport) {
+	if r.Masked || r.Failure != core.UFPacketLoss || r.App == core.AppNone {
+		return
+	}
+	counts[r.App]++
+}
+
+// Fig3cFromCounts finalizes accumulated per-app loss counts into the
+// Figure 3c bars.
+func Fig3cFromCounts(counts map[core.AppKind]float64) []Bar {
 	apps := core.Apps()
 	raw := make([]float64, len(apps))
 	for i, a := range apps {
@@ -117,15 +129,27 @@ type Fig4Row struct {
 // workload, no masking — matching the paper's Figure 4 conditions).
 func Fig4PerHost(reports []core.UserReport) []Fig4Row {
 	perNode := make(map[string]map[core.UserFailure]int)
-	for _, r := range reports {
-		if r.Masked {
-			continue
-		}
-		if perNode[r.Node] == nil {
-			perNode[r.Node] = make(map[core.UserFailure]int)
-		}
-		perNode[r.Node][r.Failure]++
+	for i := range reports {
+		AddFig4(perNode, &reports[i])
 	}
+	return Fig4FromCounts(perNode)
+}
+
+// AddFig4 folds one report into Figure 4's per-host counts (masked reports
+// are skipped).
+func AddFig4(perNode map[string]map[core.UserFailure]int, r *core.UserReport) {
+	if r.Masked {
+		return
+	}
+	if perNode[r.Node] == nil {
+		perNode[r.Node] = make(map[core.UserFailure]int)
+	}
+	perNode[r.Node][r.Failure]++
+}
+
+// Fig4FromCounts finalizes accumulated per-host failure counts into the
+// Figure 4 rows.
+func Fig4FromCounts(perNode map[string]map[core.UserFailure]int) []Fig4Row {
 	nodes := make([]string, 0, len(perNode))
 	for n := range perNode {
 		nodes = append(nodes, n)
@@ -182,26 +206,48 @@ type Scalars struct {
 	SystemEntries int
 }
 
-// BuildScalars computes the §6 scalars from both testbeds' data.
-func BuildScalars(randomReports, realisticReports []core.UserReport,
-	counters map[string]*workload.Counters, systemEntries int) *Scalars {
-	s := &Scalars{DistanceShares: make(map[float64]float64)}
+// ScalarCounts is the streaming accumulator behind the §6 scalars: plain
+// integer counts folded one report at a time (the idle-time summaries come
+// from workload counters, which stay O(nodes) on the testbed side).
+type ScalarCounts struct {
+	NRandom    int // unmasked failures, random workload
+	NRealistic int // unmasked failures, realistic workload
+	// DistCount / DistTotal split realistic unmasked non-bind failures by
+	// antenna distance.
+	DistCount map[float64]int
+	DistTotal int
+}
 
-	nRandom, nRealistic := 0, 0
-	for _, r := range randomReports {
-		if !r.Masked {
-			nRandom++
+// NewScalarCounts allocates the accumulator.
+func NewScalarCounts() *ScalarCounts {
+	return &ScalarCounts{DistCount: make(map[float64]int)}
+}
+
+// Add folds one report from the named workload kind.
+func (c *ScalarCounts) Add(r *core.UserReport, kind core.WorkloadKind) {
+	if r.Masked {
+		return
+	}
+	switch kind {
+	case core.WLRandom:
+		c.NRandom++
+	case core.WLRealistic:
+		c.NRealistic++
+		if r.Failure != core.UFBindFailed {
+			c.DistCount[r.DistanceM]++
+			c.DistTotal++
 		}
 	}
-	for _, r := range realisticReports {
-		if !r.Masked {
-			nRealistic++
-		}
+}
+
+// Scalars finalizes the counts (plus the per-client counters and the system
+// entry total) into the §6 scalar report.
+func (c *ScalarCounts) Scalars(counters map[string]*workload.Counters, systemEntries int) *Scalars {
+	s := &Scalars{DistanceShares: make(map[float64]float64)}
+	if c.NRandom+c.NRealistic > 0 {
+		s.RandomSharePct = float64(c.NRandom) / float64(c.NRandom+c.NRealistic) * 100
 	}
-	if nRandom+nRealistic > 0 {
-		s.RandomSharePct = float64(nRandom) / float64(nRandom+nRealistic) * 100
-	}
-	s.UserReports = nRandom + nRealistic
+	s.UserReports = c.NRandom + c.NRealistic
 	s.SystemEntries = systemEntries
 
 	// Merge in sorted key order: float accumulation is rounding-order
@@ -220,20 +266,23 @@ func BuildScalars(randomReports, realisticReports []core.UserReport,
 	s.IdleBeforeFailedMean = failed.Mean()
 	s.IdleBeforeCleanMean = clean.Mean()
 
-	// Distance split from the realistic testbed, bind failures excluded.
-	distCount := make(map[float64]int)
-	total := 0
-	for _, r := range realisticReports {
-		if r.Masked || r.Failure == core.UFBindFailed {
-			continue
-		}
-		distCount[r.DistanceM]++
-		total++
-	}
-	for d, c := range distCount {
-		if total > 0 {
-			s.DistanceShares[d] = float64(c) / float64(total) * 100
+	for d, n := range c.DistCount {
+		if c.DistTotal > 0 {
+			s.DistanceShares[d] = float64(n) / float64(c.DistTotal) * 100
 		}
 	}
 	return s
+}
+
+// BuildScalars computes the §6 scalars from both testbeds' data.
+func BuildScalars(randomReports, realisticReports []core.UserReport,
+	counters map[string]*workload.Counters, systemEntries int) *Scalars {
+	counts := NewScalarCounts()
+	for i := range randomReports {
+		counts.Add(&randomReports[i], core.WLRandom)
+	}
+	for i := range realisticReports {
+		counts.Add(&realisticReports[i], core.WLRealistic)
+	}
+	return counts.Scalars(counters, systemEntries)
 }

@@ -19,42 +19,70 @@ type Table3 struct {
 	TotalRow [core.NumRecoveryActions]float64
 }
 
-// BuildTable3 computes the effectiveness matrix from (unmasked, recovered)
-// failure reports produced under the SIRA cascade.
-func BuildTable3(reports []core.UserReport) *Table3 {
+// Table3Counts is the streaming-friendly accumulator behind Table 3: raw
+// recovery-success counts that fold one report at a time and finalize into
+// the percentage table. Integer counts make shard merges and the
+// streaming/retained equivalence exact.
+type Table3Counts struct {
+	Rows   map[core.UserFailure][core.NumRecoveryActions]int
+	Totals [core.NumRecoveryActions]int
+	Grand  int
+}
+
+// NewTable3Counts allocates the accumulator.
+func NewTable3Counts() *Table3Counts {
+	return &Table3Counts{Rows: make(map[core.UserFailure][core.NumRecoveryActions]int)}
+}
+
+// Add folds one report (no-op unless it is an unmasked, recovered failure
+// cleared by a defined SIRA).
+func (c *Table3Counts) Add(r *core.UserReport) {
+	if r.Masked || !r.Recovered || !r.Recovery.Valid() {
+		return
+	}
+	row := c.Rows[r.Failure]
+	row[int(r.Recovery)-1]++
+	c.Rows[r.Failure] = row
+	c.Totals[int(r.Recovery)-1]++
+	c.Grand++
+}
+
+// Table computes the percentage table from the accumulated counts.
+func (c *Table3Counts) Table() *Table3 {
 	t := &Table3{
 		Rows:   make(map[core.UserFailure][core.NumRecoveryActions]float64),
 		Counts: make(map[core.UserFailure]int),
 	}
-	counts := make(map[core.UserFailure][core.NumRecoveryActions]int)
-	var totals [core.NumRecoveryActions]int
-	grand := 0
-	for _, r := range reports {
-		if r.Masked || !r.Recovered || !r.Recovery.Valid() {
-			continue
+	for f, row := range c.Rows {
+		n := 0
+		for _, v := range row {
+			n += v
 		}
-		row := counts[r.Failure]
-		row[int(r.Recovery)-1]++
-		counts[r.Failure] = row
-		totals[int(r.Recovery)-1]++
-		t.Counts[r.Failure]++
-		grand++
-	}
-	for f, row := range counts {
+		t.Counts[f] = n
 		var pct [core.NumRecoveryActions]float64
-		if n := t.Counts[f]; n > 0 {
-			for i, c := range row {
-				pct[i] = float64(c) / float64(n) * 100
+		if n > 0 {
+			for i, v := range row {
+				pct[i] = float64(v) / float64(n) * 100
 			}
 		}
 		t.Rows[f] = pct
 	}
-	if grand > 0 {
-		for i, c := range totals {
-			t.TotalRow[i] = float64(c) / float64(grand) * 100
+	if c.Grand > 0 {
+		for i, v := range c.Totals {
+			t.TotalRow[i] = float64(v) / float64(c.Grand) * 100
 		}
 	}
 	return t
+}
+
+// BuildTable3 computes the effectiveness matrix from (unmasked, recovered)
+// failure reports produced under the SIRA cascade.
+func BuildTable3(reports []core.UserReport) *Table3 {
+	counts := NewTable3Counts()
+	for i := range reports {
+		counts.Add(&reports[i])
+	}
+	return counts.Table()
 }
 
 // Share reports the success share of one action for one failure.

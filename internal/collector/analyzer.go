@@ -60,6 +60,15 @@ type LogAnalyzer struct {
 	Node    string
 	Testbed string
 
+	// Codec selects the wire encoding (zero value: the binary codec;
+	// CodecJSON for debugging with external tools).
+	Codec Codec
+	// Clock, when set, stamps each batch's watermark with the current
+	// virtual time — the promise a streaming repository needs to fold this
+	// node's records. Without a clock the watermark falls back to the last
+	// shipped record's timestamp.
+	Clock func() sim.Time
+
 	test   *logging.TestLog
 	sys    *logging.SystemLog
 	addr   string
@@ -82,27 +91,48 @@ func NewLogAnalyzer(node, testbed string, test *logging.TestLog, sys *logging.Sy
 func (a *LogAnalyzer) Shipped() int { return a.shipped }
 
 // FlushOnce extracts, filters and ships the current log contents. An empty
-// extraction ships nothing and returns nil.
+// extraction ships nothing and returns nil. On any transport failure the
+// drained records go back into the logs so the next flush retries them
+// (frames are stored atomically by the repository, so a half-written frame
+// was not stored and the retry cannot duplicate).
 func (a *LogAnalyzer) FlushOnce() error {
 	reports := a.filter.FilterUser(a.test.Drain())
 	entries := a.filter.FilterSystem(a.sys.Drain())
 	if len(reports) == 0 && len(entries) == 0 {
 		return nil
 	}
-	conn, err := net.DialTimeout("tcp", a.addr, 5*time.Second)
-	if err != nil {
-		// Put the data back so the next flush retries it.
+	putBack := func() {
 		for _, r := range reports {
 			a.test.Append(r)
 		}
 		for _, e := range entries {
 			a.sys.Append(e)
 		}
+	}
+	conn, err := net.DialTimeout("tcp", a.addr, 5*time.Second)
+	if err != nil {
+		putBack()
 		return fmt.Errorf("collector: dial repository: %w", err)
 	}
 	defer conn.Close()
-	batch := &Batch{Node: a.Node, Testbed: a.Testbed, Reports: reports, Entries: entries}
-	if err := WriteBatch(conn, batch); err != nil {
+	batch := &Batch{Node: a.Node, Testbed: a.Testbed, Reports: reports, Entries: entries,
+		Seq: uint64(a.shipped) + 1}
+	if a.Clock != nil {
+		batch.Watermark = a.Clock()
+	} else {
+		for i := range reports {
+			if reports[i].At > batch.Watermark {
+				batch.Watermark = reports[i].At
+			}
+		}
+		for i := range entries {
+			if entries[i].At > batch.Watermark {
+				batch.Watermark = entries[i].At
+			}
+		}
+	}
+	if err := WriteBatchCodec(conn, batch, a.Codec); err != nil {
+		putBack()
 		return err
 	}
 	a.shipped++

@@ -1,39 +1,64 @@
 package collector
 
 import (
-	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 )
 
 // Repository is the central failure-data store: it accepts LogAnalyzer
-// connections and accumulates their batches.
+// connections and accumulates their batches. It runs in one of two modes:
+//
+//   - retained (NewRepository): every record is kept, for raw-record
+//     analysis and the tests that inspect individual reports;
+//   - streaming (NewStreamingRepository): records fold into the running
+//     aggregates behind the paper's tables as they arrive, so repository
+//     memory is bounded by the senders' flush cadence, not the campaign
+//     length.
 type Repository struct {
 	ln net.Listener
 	wg sync.WaitGroup
 
-	mu      sync.Mutex
-	stored  *sync.Cond // signalled on every stored batch
-	reports []core.UserReport
-	entries []core.SystemEntry
-	batches int
-	closed  bool
+	stream *analysis.Streamer // nil in retained mode
+
+	mu       sync.Mutex
+	storedCh chan struct{} // closed-and-replaced on every stored batch
+	reports  []core.UserReport
+	entries  []core.SystemEntry
+	nReports int
+	nEntries int
+	batches  int
+	rejected int // batches refused by the streaming aggregator
+	closed   bool
 }
 
-// NewRepository starts a repository listening on addr (use "127.0.0.1:0"
-// for an ephemeral test port).
+// NewRepository starts a retained-mode repository listening on addr (use
+// "127.0.0.1:0" for an ephemeral test port).
 func NewRepository(addr string) (*Repository, error) {
+	return newRepository(addr, nil)
+}
+
+// NewStreamingRepository starts a repository that folds incoming batches
+// into streaming aggregates for the declared node set instead of retaining
+// records. Read the results with Aggregates after the senders are done.
+func NewStreamingRepository(addr string, spec analysis.StreamSpec) (*Repository, error) {
+	s, err := analysis.NewStreamer(spec)
+	if err != nil {
+		return nil, err
+	}
+	return newRepository(addr, s)
+}
+
+func newRepository(addr string, stream *analysis.Streamer) (*Repository, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("collector: listen %s: %w", addr, err)
 	}
-	r := &Repository{ln: ln}
-	r.stored = sync.NewCond(&r.mu)
+	r := &Repository{ln: ln, stream: stream, storedCh: make(chan struct{})}
 	r.wg.Add(1)
 	go r.acceptLoop()
 	return r, nil
@@ -41,6 +66,9 @@ func NewRepository(addr string) (*Repository, error) {
 
 // Addr reports the listening address.
 func (r *Repository) Addr() string { return r.ln.Addr().String() }
+
+// Streaming reports whether the repository folds instead of retaining.
+func (r *Repository) Streaming() bool { return r.stream != nil }
 
 // acceptLoop serves incoming LogAnalyzer connections until Close.
 func (r *Repository) acceptLoop() {
@@ -64,20 +92,49 @@ func (r *Repository) serve(conn net.Conn) {
 	for {
 		b, err := ReadBatch(conn)
 		if err != nil {
-			if !errors.Is(err, io.EOF) {
-				// A malformed peer: drop the connection; partial batches
-				// were already stored atomically per frame.
+			// io.EOF is the clean end between frames; anything else is a
+			// malformed peer. Either way the connection is done; partial
+			// batches were already stored atomically per frame.
+			return
+		}
+		if r.stream != nil {
+			// Shard ingest takes only the shard's own lock. The batch
+			// sequence number lets the aggregator apply a node's flushes in
+			// send order even when their connections race; batches from an
+			// undeclared node (or a broken sequence) are a peer error: the
+			// rejection is counted — silent loss would be indistinguishable
+			// from a healthy run — and the connection dropped.
+			if err := r.stream.IngestSeq(b.Testbed, b.Node, b.Reports, b.Entries,
+				b.Watermark, b.Seq); err != nil {
+				r.mu.Lock()
+				r.rejected++
+				r.broadcastLocked() // wake waiters so drivers can notice
+				r.mu.Unlock()
 				return
 			}
-			return
+			r.mu.Lock()
+			r.nReports += len(b.Reports)
+			r.nEntries += len(b.Entries)
+			r.batches++
+			r.broadcastLocked()
+			r.mu.Unlock()
+			continue
 		}
 		r.mu.Lock()
 		r.reports = append(r.reports, b.Reports...)
 		r.entries = append(r.entries, b.Entries...)
+		r.nReports += len(b.Reports)
+		r.nEntries += len(b.Entries)
 		r.batches++
-		r.stored.Broadcast()
+		r.broadcastLocked()
 		r.mu.Unlock()
 	}
+}
+
+// broadcastLocked wakes every WaitForBatches waiter. Caller holds mu.
+func (r *Repository) broadcastLocked() {
+	close(r.storedCh)
+	r.storedCh = make(chan struct{})
 }
 
 // WaitForBatches blocks until the repository has stored at least n batches,
@@ -85,24 +142,36 @@ func (r *Repository) serve(conn net.Conn) {
 // asynchronous with respect to the sender's write — a LogAnalyzer's
 // FlushOnce returns once the frame is on the wire — so collection drivers
 // must rendezvous here before reading the repository, or a tail batch can
-// still be in flight.
+// still be in flight. A Close wakes every waiter immediately (teardown never
+// waits out the timeout).
 func (r *Repository) WaitForBatches(n int, timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	timer := time.AfterFunc(timeout, func() {
-		r.mu.Lock()
-		r.stored.Broadcast()
-		r.mu.Unlock()
-	})
+	timer := time.NewTimer(timeout)
 	defer timer.Stop()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for r.batches < n && time.Now().Before(deadline) {
-		r.stored.Wait()
+	for {
+		r.mu.Lock()
+		if r.batches >= n {
+			r.mu.Unlock()
+			return true
+		}
+		if r.closed {
+			r.mu.Unlock()
+			return false
+		}
+		ch := r.storedCh
+		r.mu.Unlock()
+		select {
+		case <-ch:
+		case <-timer.C:
+			r.mu.Lock()
+			ok := r.batches >= n
+			r.mu.Unlock()
+			return ok
+		}
 	}
-	return r.batches >= n
 }
 
-// Close stops accepting and waits for in-flight connections to finish.
+// Close stops accepting, wakes any waiters, and waits for in-flight
+// connections to finish.
 func (r *Repository) Close() error {
 	r.mu.Lock()
 	if r.closed {
@@ -110,33 +179,62 @@ func (r *Repository) Close() error {
 		return nil
 	}
 	r.closed = true
+	r.broadcastLocked()
 	r.mu.Unlock()
 	err := r.ln.Close()
 	r.wg.Wait()
 	return err
 }
 
-// Reports returns a copy of the accumulated user reports.
+// Reports returns a copy of the accumulated user reports (nil in streaming
+// mode — records are folded, not retained).
 func (r *Repository) Reports() []core.UserReport {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.stream != nil {
+		return nil
+	}
 	out := make([]core.UserReport, len(r.reports))
 	copy(out, r.reports)
 	return out
 }
 
-// Entries returns a copy of the accumulated system entries.
+// Entries returns a copy of the accumulated system entries (nil in
+// streaming mode).
 func (r *Repository) Entries() []core.SystemEntry {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.stream != nil {
+		return nil
+	}
 	out := make([]core.SystemEntry, len(r.entries))
 	copy(out, r.entries)
 	return out
 }
 
-// Stats reports aggregate counts (reports, entries, batches).
+// Aggregates finalizes and returns the streaming aggregates (nil in
+// retained mode). Call once the senders are done — typically after a
+// WaitForBatches rendezvous; the repository must not receive afterwards.
+func (r *Repository) Aggregates() *analysis.Aggregates {
+	if r.stream == nil {
+		return nil
+	}
+	return r.stream.Finalize()
+}
+
+// Stats reports aggregate counts (reports, entries, batches) — live in both
+// modes.
 func (r *Repository) Stats() (reports, entries, batches int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.reports), len(r.entries), r.batches
+	return r.nReports, r.nEntries, r.batches
+}
+
+// Rejected reports how many batches the streaming aggregator refused
+// (undeclared stream, broken sequence, records below the fold horizon).
+// Collection drivers should treat a nonzero value as data loss.
+func (r *Repository) Rejected() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rejected
 }

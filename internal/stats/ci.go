@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Estimate is a mean with a 95 % confidence half-width, as produced by a
+// multi-seed sweep: Mean ± Half covers the true value with 95 % confidence
+// under the usual normality assumption for seed-to-seed variation.
+type Estimate struct {
+	Mean float64
+	Half float64 // 95 % CI half-width (0 for fewer than 2 samples)
+	N    int
+}
+
+// String renders the estimate as "mean±half".
+func (e Estimate) String() string {
+	if e.N < 2 {
+		return fmt.Sprintf("%.2f", e.Mean)
+	}
+	return fmt.Sprintf("%.2f±%.2f", e.Mean, e.Half)
+}
+
+// Format renders with an explicit printf verb for both numbers, e.g.
+// Format("%.1f") -> "12.3±0.4".
+func (e Estimate) Format(verb string) string {
+	if e.N < 2 {
+		return fmt.Sprintf(verb, e.Mean)
+	}
+	return fmt.Sprintf(verb+"±"+verb, e.Mean, e.Half)
+}
+
+// tTable95 holds two-sided 95 % Student-t critical values for 1..30 degrees
+// of freedom; beyond 30 the normal approximation 1.96 is used. Sweeps run a
+// handful to a few dozen seeds, so the small-sample correction matters.
+var tTable95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCrit95 returns the two-sided 95 % Student-t critical value for df degrees
+// of freedom.
+func TCrit95(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df <= len(tTable95) {
+		return tTable95[df-1]
+	}
+	return 1.96
+}
+
+// CI95 computes the sample mean and its 95 % confidence half-width from
+// independent observations (one per seed). Fewer than two observations give
+// a zero half-width.
+func CI95(xs []float64) Estimate {
+	var s Summary
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s.CI95()
+}
+
+// CI95 reports the summary's mean ± 95 % confidence half-width.
+func (s *Summary) CI95() Estimate {
+	e := Estimate{Mean: s.Mean(), N: s.N()}
+	if s.n >= 2 {
+		e.Half = TCrit95(s.n-1) * s.StdDev() / math.Sqrt(float64(s.n))
+	}
+	return e
+}

@@ -40,6 +40,23 @@ func (h *Histogram) Add(x float64) {
 // N reports the number of recorded observations.
 func (h *Histogram) N() int { return h.n }
 
+// Merge folds another histogram into h, as if all of o's observations had
+// been Added to h. Both histograms must share the same binning; per-shard
+// histograms merge into campaign totals with it.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	if h.Lo != o.Lo || h.Hi != o.Hi || len(h.bins) != len(o.bins) {
+		panic(fmt.Sprintf("stats: merging histograms with different binning: [%v,%v)x%d vs [%v,%v)x%d",
+			h.Lo, h.Hi, len(h.bins), o.Lo, o.Hi, len(o.bins)))
+	}
+	for i, c := range o.bins {
+		h.bins[i] += c
+	}
+	h.n += o.n
+}
+
 // Counts returns a copy of the per-bin counts.
 func (h *Histogram) Counts() []int {
 	out := make([]int, len(h.bins))

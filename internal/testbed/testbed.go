@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/logging"
@@ -155,6 +156,51 @@ func (tb *Testbed) replaceHardware() {
 	}
 }
 
+// SpecEntry describes this testbed's streams for a streaming aggregator.
+func (tb *Testbed) SpecEntry() analysis.TestbedSpec {
+	spec := analysis.TestbedSpec{Name: tb.Name, Kind: tb.opts.Kind, NAP: tb.NAP.Node}
+	for _, h := range tb.PANUs {
+		spec.PANUs = append(spec.PANUs, h.Node)
+	}
+	return spec
+}
+
+// StreamTo arms the testbed's streaming collection: every `every` of
+// virtual time, each node's Test/System logs are drained into s with the
+// current instant as the stream watermark, so the logs never accumulate a
+// campaign's worth of records. Call before Run; pair with a FinishStream
+// after Run to ship the tail.
+func (tb *Testbed) StreamTo(s *analysis.Streamer, every sim.Time) {
+	if every <= 0 {
+		panic(fmt.Sprintf("testbed: non-positive stream flush interval %v", every))
+	}
+	var tick func()
+	tick = func() {
+		tb.drainTo(s)
+		tb.World.At(tb.World.Now()+every, tick)
+	}
+	tb.World.At(every, tick)
+}
+
+// FinishStream ships whatever the logs still hold after the horizon.
+func (tb *Testbed) FinishStream(s *analysis.Streamer) {
+	tb.drainTo(s)
+}
+
+// drainTo ships every node's current log contents with watermark = now.
+func (tb *Testbed) drainTo(s *analysis.Streamer) {
+	now := tb.World.Now()
+	for _, h := range tb.PANUs {
+		if err := s.Ingest(tb.Name, h.Node, tb.TestLogs[h.Node].Drain(),
+			tb.SysLogs[h.Node].Drain(), now); err != nil {
+			panic(err) // spec mismatch: programming error, not data error
+		}
+	}
+	if err := s.Ingest(tb.Name, tb.NAP.Node, nil, tb.SysLogs[tb.NAP.Node].Drain(), now); err != nil {
+		panic(err)
+	}
+}
+
 // Results bundles a finished testbed's data for analysis.
 type Results struct {
 	Name     string
@@ -253,6 +299,54 @@ func (c *Campaign) RunSequential(duration sim.Time) (randomRes, realisticRes *Re
 	c.Realistic.opts.ReplaceHardwareAt = duration / 2
 	c.Random.Run(duration)
 	c.Realistic.Run(duration)
+	return c.Random.Results(), c.Realistic.Results()
+}
+
+// StreamSpec builds the streaming-aggregator spec covering both testbeds,
+// random first (the fold tie-break rank mirrors the retained pipeline's
+// random-block-then-realistic-block order).
+func (c *Campaign) StreamSpec() analysis.StreamSpec {
+	return analysis.StreamSpec{Testbeds: []analysis.TestbedSpec{
+		c.Random.SpecEntry(), c.Realistic.SpecEntry(),
+	}}
+}
+
+// RunStreaming is Run with the streaming collection plane armed: both
+// testbeds periodically drain their logs into s (bounding memory by the
+// flush interval instead of the campaign length), the tail is shipped after
+// the horizon, and the returned Results carry only the light parts (names,
+// durations, counters) — records live on in s's aggregates. The two
+// testbeds still run on separate goroutines; the aggregator's watermark
+// fold keeps the merged record order, and therefore every aggregate,
+// bit-identical to a sequential retained run.
+func (c *Campaign) RunStreaming(duration, flushEvery sim.Time, s *analysis.Streamer) (randomRes, realisticRes *Results) {
+	c.Random.opts.ReplaceHardwareAt = duration / 2
+	c.Realistic.opts.ReplaceHardwareAt = duration / 2
+	c.Random.StreamTo(s, flushEvery)
+	c.Realistic.StreamTo(s, flushEvery)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Random.Run(duration)
+		c.Random.FinishStream(s)
+	}()
+	c.Realistic.Run(duration)
+	c.Realistic.FinishStream(s)
+	wg.Wait()
+	return c.Random.Results(), c.Realistic.Results()
+}
+
+// RunStreamingSequential is RunStreaming on a single goroutine.
+func (c *Campaign) RunStreamingSequential(duration, flushEvery sim.Time, s *analysis.Streamer) (randomRes, realisticRes *Results) {
+	c.Random.opts.ReplaceHardwareAt = duration / 2
+	c.Realistic.opts.ReplaceHardwareAt = duration / 2
+	c.Random.StreamTo(s, flushEvery)
+	c.Realistic.StreamTo(s, flushEvery)
+	c.Random.Run(duration)
+	c.Random.FinishStream(s)
+	c.Realistic.Run(duration)
+	c.Realistic.FinishStream(s)
 	return c.Random.Results(), c.Realistic.Results()
 }
 

@@ -1,28 +1,58 @@
 #!/bin/sh
-# bench.sh runs the end-to-end campaign throughput benchmark and emits
-# BENCH_campaign.json with ns/op, B/op, and allocs/op, so the performance
-# trajectory is tracked across PRs. Usage: scripts/bench.sh [benchtime]
+# bench.sh runs the end-to-end campaign benchmarks and emits
+# BENCH_campaign.json so the performance trajectory is tracked across PRs:
+# the day-scale throughput metric (ns/op, B/op, allocs/op — comparable back
+# to PR 1) plus the month-scale streaming benchmark with its live-heap
+# metric (O(1) in campaign days) and the retained 30-day control.
+# Usage: scripts/bench.sh [day-benchtime] [month-benchtime]
 set -eu
 
 cd "$(dirname "$0")/.."
-benchtime="${1:-5x}"
+day_benchtime="${1:-5x}"
+month_benchtime="${2:-1x}"
 
-out="$(go test -run '^$' -bench BenchmarkCampaignDay -benchtime "$benchtime" -benchmem . | tee /dev/stderr)"
+day_out="$(go test -run '^$' -bench '^BenchmarkCampaignDay$' -benchtime "$day_benchtime" -benchmem . | tee /dev/stderr)"
+month_out="$(go test -run '^$' -bench '^BenchmarkCampaignMonth' -benchtime "$month_benchtime" -benchmem . | tee /dev/stderr)"
 
-echo "$out" | awk '
-/^BenchmarkCampaignDay/ {
-    ns = $3; bytes = $5; allocs = $7
+printf '%s\n%s\n' "$day_out" "$month_out" | awk '
+# Benchmark lines interleave custom metrics with the standard ones, so pick
+# values by their unit token instead of field position.
+/^BenchmarkCampaign/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = bytes = allocs = live = items = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i-1)
+        if ($i == "B/op") bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+        if ($i == "live-MB") live = $(i-1)
+        if ($i == "items") items = $(i-1)
+    }
+    if (name == "BenchmarkCampaignDay") { d_ns = ns; d_b = bytes; d_a = allocs; d_live = live }
+    if (name == "BenchmarkCampaignMonth") { m_ns = ns; m_b = bytes; m_a = allocs; m_live = live; m_items = items }
+    if (name == "BenchmarkCampaignMonthRetained") { r_live = live }
 }
 END {
-    if (ns == "") {
-        print "bench.sh: no BenchmarkCampaignDay line found" > "/dev/stderr"
+    if (d_ns == "" || d_b == "" || d_a == "" || d_live == "" ||
+        m_ns == "" || m_b == "" || m_a == "" || m_live == "" ||
+        m_items == "" || r_live == "") {
+        print "bench.sh: missing benchmark lines or metrics" > "/dev/stderr"
         exit 1
     }
     printf "{\n"
     printf "  \"benchmark\": \"BenchmarkCampaignDay\",\n"
-    printf "  \"ns_per_op\": %s,\n", ns
-    printf "  \"bytes_per_op\": %s,\n", bytes
-    printf "  \"allocs_per_op\": %s\n", allocs
+    printf "  \"ns_per_op\": %s,\n", d_ns
+    printf "  \"bytes_per_op\": %s,\n", d_b
+    printf "  \"allocs_per_op\": %s,\n", d_a
+    printf "  \"live_mb\": %s,\n", d_live
+    printf "  \"month\": {\n"
+    printf "    \"benchmark\": \"BenchmarkCampaignMonth\",\n"
+    printf "    \"ns_per_op\": %s,\n", m_ns
+    printf "    \"bytes_per_op\": %s,\n", m_b
+    printf "    \"allocs_per_op\": %s,\n", m_a
+    printf "    \"live_mb\": %s,\n", m_live
+    printf "    \"items\": %s,\n", m_items
+    printf "    \"retained_live_mb\": %s\n", r_live
+    printf "  }\n"
     printf "}\n"
 }' >BENCH_campaign.json
 

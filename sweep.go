@@ -1,0 +1,162 @@
+package btpan
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/recovery"
+	"repro/internal/sim"
+)
+
+// SweepConfig configures a multi-seed campaign sweep: N independent
+// campaigns of the same duration and scenario, seeds BaseSeed..BaseSeed+N-1,
+// run on a bounded worker pool. Per-seed campaigns stream by default, so a
+// sweep's memory is O(workers), not O(seeds x duration), and every table
+// comes back as mean ± 95 % confidence interval over the seeds.
+type SweepConfig struct {
+	// BaseSeed roots the sweep; seed i of N is BaseSeed + i.
+	BaseSeed uint64
+	// Seeds is the number of independent campaigns (>= 1).
+	Seeds int
+	// Duration is the virtual observation window per campaign.
+	Duration sim.Time
+	// Scenario selects the recovery regime for every campaign.
+	Scenario Scenario
+	// Workers bounds the campaign-level worker pool (each campaign runs
+	// its two testbeds on goroutines of its own). 0 means NumCPU/2, at
+	// least 1.
+	Workers int
+	// FlushEvery is the streaming drain cadence (default one virtual
+	// hour).
+	FlushEvery sim.Time
+	// Retained switches the per-seed campaigns to the record-retaining
+	// plane (debugging / raw-record analysis; memory grows with duration).
+	Retained bool
+}
+
+// Validate reports configuration errors.
+func (c SweepConfig) Validate() error {
+	if c.Seeds < 1 {
+		return fmt.Errorf("btpan: sweep needs at least one seed")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("btpan: negative sweep worker count")
+	}
+	probe := CampaignConfig{Seed: c.BaseSeed, Duration: c.Duration,
+		Scenario: c.Scenario, FlushEvery: c.FlushEvery}
+	return probe.Validate()
+}
+
+// SweepResult holds the per-seed campaigns, in seed order.
+type SweepResult struct {
+	Config SweepConfig
+	Runs   []*CampaignResult
+}
+
+// Sweep runs the multi-seed campaign sweep. Results are deterministic for a
+// given config: seed i always computes the same campaign no matter which
+// worker runs it or in what order seeds finish.
+func Sweep(cfg SweepConfig) (*SweepResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.NumCPU() / 2
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > cfg.Seeds {
+		workers = cfg.Seeds
+	}
+	runs := make([]*CampaignResult, cfg.Seeds)
+	errs := make([]error, cfg.Seeds)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				runs[i], errs[i] = RunCampaign(CampaignConfig{
+					Seed:       cfg.BaseSeed + uint64(i),
+					Duration:   cfg.Duration,
+					Scenario:   cfg.Scenario,
+					Streaming:  !cfg.Retained,
+					FlushEvery: cfg.FlushEvery,
+				})
+			}
+		}()
+	}
+	for i := range runs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &SweepResult{Config: cfg, Runs: runs}, nil
+}
+
+// Table2CI summarizes the sweep's error-failure relationship tables.
+func (s *SweepResult) Table2CI() *analysis.Table2CI {
+	tables := make([]*analysis.Table2, len(s.Runs))
+	for i, r := range s.Runs {
+		tables[i] = r.Table2()
+	}
+	return analysis.BuildTable2CI(tables)
+}
+
+// Table3CI summarizes the sweep's SIRA effectiveness tables.
+func (s *SweepResult) Table3CI() *analysis.Table3CI {
+	tables := make([]*analysis.Table3, len(s.Runs))
+	for i, r := range s.Runs {
+		tables[i] = r.Table3()
+	}
+	return analysis.BuildTable3CI(tables)
+}
+
+// DependabilityCI summarizes the sweep's Table 4 column (the configured
+// scenario).
+func (s *SweepResult) DependabilityCI() *analysis.DependabilityCI {
+	cols := make([]*analysis.Dependability, len(s.Runs))
+	for i, r := range s.Runs {
+		cols[i] = r.Dependability()
+	}
+	return analysis.BuildDependabilityCI(cols)
+}
+
+// ScalarsCI summarizes the sweep's §6 scalar findings.
+func (s *SweepResult) ScalarsCI() *analysis.ScalarsCI {
+	all := make([]*analysis.Scalars, len(s.Runs))
+	for i, r := range s.Runs {
+		all[i] = r.Scalars()
+	}
+	return analysis.BuildScalarsCI(all)
+}
+
+// SweepTable4 runs one sweep per recovery scenario (same seeds and
+// duration) and assembles the four-column dependability comparison with
+// confidence intervals — the paper's Table 4 with error bars.
+func SweepTable4(cfg SweepConfig) (*analysis.Table4CI, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t4 := &analysis.Table4CI{}
+	for _, sc := range recovery.Scenarios() {
+		scCfg := cfg
+		scCfg.Scenario = sc
+		res, err := Sweep(scCfg)
+		if err != nil {
+			return nil, err
+		}
+		t4.Columns = append(t4.Columns, res.DependabilityCI())
+	}
+	return t4, nil
+}

@@ -1,0 +1,96 @@
+package btpan
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSweepDeterministicAcrossWorkerCounts proves the worker pool is pure
+// orchestration: 1-worker and 4-worker sweeps of the same config produce
+// identical CI tables (per-seed campaigns are independent simulations and
+// the summaries fold in seed order).
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := SweepConfig{BaseSeed: 3, Seeds: 3, Duration: 6 * Hour, Scenario: ScenarioSIRAs}
+	serial := base
+	serial.Workers = 1
+	wide := base
+	wide.Workers = 4
+	a, err := Sweep(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Table2CI(), b.Table2CI()) {
+		t.Error("Table 2 CI differs across worker counts")
+	}
+	if !reflect.DeepEqual(a.Table3CI(), b.Table3CI()) {
+		t.Error("Table 3 CI differs across worker counts")
+	}
+	if !reflect.DeepEqual(a.DependabilityCI(), b.DependabilityCI()) {
+		t.Error("dependability CI differs across worker counts")
+	}
+	if !reflect.DeepEqual(a.ScalarsCI(), b.ScalarsCI()) {
+		t.Error("scalars CI differs across worker counts")
+	}
+}
+
+// TestSweepEstimates sanity-checks the CI summaries: seed count recorded,
+// nonzero data, means inside the per-seed envelope, and the renderers
+// carrying the ± annotation.
+func TestSweepEstimates(t *testing.T) {
+	res, err := Sweep(SweepConfig{BaseSeed: 1, Seeds: 3, Duration: 6 * Hour,
+		Scenario: ScenarioSIRAs, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 3 {
+		t.Fatalf("runs = %d", len(res.Runs))
+	}
+	dep := res.DependabilityCI()
+	if dep.Seeds != 3 || dep.MTTF.N != 3 {
+		t.Fatalf("CI seed count: %+v", dep.MTTF)
+	}
+	lo, hi := 1e18, 0.0
+	for _, r := range res.Runs {
+		m := r.Dependability().MTTF
+		if m <= 0 {
+			t.Fatalf("seed %d: non-positive MTTF", r.Config.Seed)
+		}
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+	}
+	if dep.MTTF.Mean < lo || dep.MTTF.Mean > hi {
+		t.Errorf("MTTF mean %v outside per-seed envelope [%v, %v]", dep.MTTF.Mean, lo, hi)
+	}
+	if lo < hi && dep.MTTF.Half == 0 {
+		t.Error("distinct per-seed MTTFs but zero CI half-width")
+	}
+	for _, rendered := range []string{
+		res.Table2CI().Render(), res.Table3CI().Render(), dep.Render(),
+	} {
+		if !strings.Contains(rendered, "±") {
+			t.Errorf("render lacks ± annotation:\n%s", rendered)
+		}
+	}
+}
+
+// TestSweepValidation pins config validation.
+func TestSweepValidation(t *testing.T) {
+	if _, err := Sweep(SweepConfig{Seeds: 0, Duration: Hour, Scenario: ScenarioSIRAs}); err == nil {
+		t.Error("zero seeds accepted")
+	}
+	if _, err := Sweep(SweepConfig{Seeds: 1, Duration: 0, Scenario: ScenarioSIRAs}); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := Sweep(SweepConfig{Seeds: 1, Duration: Hour, Scenario: ScenarioSIRAs, Workers: -1}); err == nil {
+		t.Error("negative workers accepted")
+	}
+}
