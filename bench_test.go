@@ -1,7 +1,8 @@
 package btpan
 
 // The benchmark harness regenerates every table and figure of the paper's
-// evaluation (DESIGN.md §3 maps each to its experiment). Campaigns run once
+// evaluation (ARCHITECTURE.md maps each to the code that produces it).
+// Campaigns run once
 // per process as shared setup; each benchmark times the regeneration of its
 // artefact from the collected data and logs the measured rows next to the
 // paper's values. Run with:
@@ -252,6 +253,42 @@ func BenchmarkCampaignMonth(b *testing.B) { benchCampaignDays(b, 30, true) }
 // BenchmarkCampaignMonthRetained is the 30-day control on the retained
 // plane (every record kept in RAM).
 func BenchmarkCampaignMonthRetained(b *testing.B) { benchCampaignDays(b, 30, false) }
+
+// BenchmarkScatternetDay measures one virtual day of a 4-piconet, 3-bridge
+// scatternet on the streaming plane: four full piconet campaigns (eight
+// testbeds) plus the bridge overlay. live-MB stays O(piconets) — the
+// per-piconet aggregates plus the O(1) bridge accumulators.
+func BenchmarkScatternetDay(b *testing.B) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	var keep *ScatternetResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunScatternet(ScatternetConfig{
+			CampaignConfig: CampaignConfig{
+				Seed: uint64(i + 1), Duration: 1 * Day,
+				Scenario: ScenarioSIRAs, Streaming: true,
+			},
+			Piconets: 4, Bridges: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		keep = res
+	}
+	b.StopTimer()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	b.ReportMetric((float64(after.HeapAlloc)-float64(before.HeapAlloc))/1e6, "live-MB")
+	items := 0
+	for _, pic := range keep.Piconets {
+		_, _, tot := pic.DataItems()
+		items += tot
+	}
+	b.ReportMetric(float64(items), "items")
+	b.ReportMetric(float64(keep.Bridges.CorrelatedOutages()), "corr-outages")
+}
 
 // barString renders bars compactly for bench logs.
 func barString(bars []analysis.Bar) string {

@@ -268,8 +268,8 @@ func (r *CampaignResult) Fig3c() []analysis.Bar {
 // Fig4 computes the per-host failure distribution. The paper's Figure 4
 // uses the realistic workload over 18 months; compressed campaigns use both
 // testbeds so the rare host-specific failure types (bind, switch-role
-// command) accumulate enough occurrences to be visible (documented
-// substitution, see EXPERIMENTS.md).
+// command) accumulate enough occurrences to be visible (a documented
+// reproduction assumption, see ARCHITECTURE.md).
 func (r *CampaignResult) Fig4() []analysis.Fig4Row {
 	if r.Agg != nil {
 		return r.Agg.Fig4()

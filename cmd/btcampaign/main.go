@@ -1,5 +1,6 @@
-// Command btcampaign runs failure-data collection campaigns on the two
-// simulated testbeds.
+// Command btcampaign runs failure-data collection campaigns on the
+// simulated testbeds — the paper's single-piconet pair by default, or a
+// bridged multi-piconet scatternet with -scatternet.
 //
 // Single-seed mode mirrors the paper's infrastructure: each node's
 // LogAnalyzer daemon extracts and filters its Test/System logs and ships
@@ -13,10 +14,36 @@
 // Multi-seed mode (-seeds N) runs a sweep on a bounded worker pool and
 // reports every table as mean ± 95 % confidence interval over the seeds.
 //
+// Scatternet mode (-scatternet) composes -piconets full piconet campaigns
+// with -bridges bridge nodes that time-share membership across piconets on
+// a -hold second residency schedule, relaying inter-piconet traffic through
+// the real stack path. It prints per-piconet tables plus the
+// bridge-attributed failure-coupling table; piconet tables aggregate in
+// O(1) memory with -stream exactly like single-piconet campaigns (the
+// repository shipping path is single-piconet only).
+//
 // Usage:
 //
-//	btcampaign [-seed N] [-days 1..540] [-scenario 1..4] [-out DIR]
-//	           [-codec binary|json] [-stream] [-seeds N] [-workers W]
+//	btcampaign [flags]
+//
+// Flags:
+//
+//	-seed N          campaign seed; sweeps use seed..seed+seeds-1 (default 1)
+//	-days D          virtual campaign days, 1..540 (default 4)
+//	-scenario 1..4   recovery regime: 1=reboot only, 2=app restart+reboot,
+//	                 3=SIRAs, 4=SIRAs+masking (default 3)
+//	-out DIR         output directory for the single-seed retained
+//	                 single-piconet repository files (default campaign-data)
+//	-codec C         collection wire codec: binary or json (default binary)
+//	-stream          fold records into running aggregates (O(1) memory)
+//	                 instead of retaining them
+//	-seeds N         sweep seed count; N > 1 enables sweep mode with 95% CIs
+//	-workers W       sweep worker pool size; 0 means NumCPU/2
+//	-scatternet      run a multi-piconet scatternet campaign
+//	-piconets P      scatternet piconet count (default 2)
+//	-bridges K       scatternet bridge count; bridge b serves the piconet
+//	                 ring pair (b mod P, b+1 mod P) (default 1)
+//	-hold S          bridge residency seconds per piconet visit (default 10)
 package main
 
 import (
@@ -44,6 +71,10 @@ func main() {
 	stream := flag.Bool("stream", false, "streaming aggregation: fold records instead of retaining them")
 	seeds := flag.Int("seeds", 1, "number of sweep seeds (>1 enables sweep mode with 95% CIs)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = NumCPU/2)")
+	scat := flag.Bool("scatternet", false, "run a multi-piconet scatternet campaign")
+	piconets := flag.Int("piconets", 2, "scatternet piconet count (with -scatternet)")
+	bridges := flag.Int("bridges", 1, "scatternet bridge count (with -scatternet)")
+	hold := flag.Int("hold", 10, "bridge residency seconds per piconet visit (with -scatternet)")
 	flag.Parse()
 
 	if *days < 1 || *days > 540 {
@@ -54,6 +85,18 @@ func main() {
 		fatal(err)
 	}
 	duration := sim.Time(*days) * sim.Day
+	holdTime := sim.Time(*hold) * sim.Second
+
+	if *scat {
+		if *seeds > 1 {
+			runScatternetSweep(*seed, *seeds, duration, btpan.Scenario(*scenario),
+				*workers, *piconets, *bridges, holdTime)
+			return
+		}
+		runScatternet(*seed, duration, btpan.Scenario(*scenario),
+			*piconets, *bridges, holdTime, *stream)
+		return
+	}
 
 	if *seeds > 1 {
 		runSweep(*seed, *seeds, duration, btpan.Scenario(*scenario), *workers)
@@ -97,6 +140,56 @@ func mode(stream bool) string {
 		return "streaming aggregation"
 	}
 	return "retained records"
+}
+
+// runScatternet runs one scatternet campaign and prints the per-piconet
+// tables plus the bridge-attributed failure-coupling table.
+func runScatternet(seed uint64, duration sim.Time, scenario btpan.Scenario,
+	piconets, bridges int, hold sim.Time, stream bool) {
+	fmt.Printf("running %v scatternet campaign (%d piconets, %d bridges, hold %v, scenario %q, seed %d, %s)...\n",
+		duration, piconets, bridges, hold, scenario, seed, mode(stream))
+	res, err := btpan.RunScatternet(btpan.ScatternetConfig{
+		CampaignConfig: btpan.CampaignConfig{
+			Seed: seed, Duration: duration, Scenario: scenario, Streaming: stream,
+		},
+		Piconets: piconets, Bridges: bridges, HoldTime: hold,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nPiconet overview\n%s", res.Overview().Render())
+	for p, pic := range res.Piconets {
+		fmt.Printf("\nPiconet %d — Table 2 (error-failure relationship)\n%s", p, pic.Table2().Render())
+		fmt.Printf("Piconet %d — Table 3 (SIRA effectiveness)\n%s", p, pic.Table3().Render())
+	}
+	if bridges > 0 {
+		fmt.Printf("\nBridge-attributed coupling\n%s", res.Bridges.Render())
+		fmt.Printf("\n%d bridge outages propagated as %d correlated piconet-level service interruptions (%.1f s total downtime)\n",
+			res.Bridges.TotalOutages(), res.Bridges.CorrelatedOutages(), res.Bridges.TotalDowntimeSeconds())
+	}
+}
+
+// runScatternetSweep sweeps scatternet campaigns over seeds and prints the
+// piconet-0 tables with CIs plus the coupling estimates.
+func runScatternetSweep(baseSeed uint64, seeds int, duration sim.Time,
+	scenario btpan.Scenario, workers, piconets, bridges int, hold sim.Time) {
+	fmt.Printf("sweeping %d seeds x %v scatternet (%d piconets, %d bridges, scenario %q, %d workers)...\n",
+		seeds, duration, piconets, bridges, scenario, workers)
+	start := time.Now()
+	res, err := btpan.Sweep(btpan.SweepConfig{
+		BaseSeed: baseSeed, Seeds: seeds, Duration: duration, Scenario: scenario,
+		Workers: workers, Piconets: piconets, Bridges: bridges, HoldTime: hold,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sweep finished in %v\n\n", time.Since(start).Round(time.Millisecond))
+	for p := 0; p < piconets; p++ {
+		fmt.Printf("Piconet %d dependability (mean ± 95%% CI)\n%s\n",
+			p, res.PiconetDependabilityCI(p).Render())
+	}
+	fmt.Printf("correlated piconet outages per seed: %s\n", res.CorrelatedOutagesCI().Format("%.1f"))
+	fmt.Printf("bridge downtime per seed (s):        %s\n", res.BridgeDowntimeCI().Format("%.1f"))
 }
 
 // runSweep runs the multi-seed sweep and prints every table with 95 % CIs.

@@ -1,12 +1,3 @@
-// Package analysis computes the paper's published results from collected
-// failure data: the error–failure relationship matrix (Table 2), the SIRA
-// effectiveness matrix (Table 3), the dependability improvement report
-// (Table 4), the failure-distribution figures (Figures 3a–c and 4), and the
-// §6 scalar findings (workload split, idle-time comparison, distance split).
-//
-// Everything operates on plain record slices / workload counters, so the
-// same code analyses live campaign results, repository contents, or log
-// files read back from disk.
 package analysis
 
 import (

@@ -12,6 +12,13 @@
 // The window is chosen by sensitivity analysis: the tuple-count-versus-W
 // curve has a knee (the paper finds it at 330 s); before the knee tuples
 // fragment (truncations), after it unrelated errors merge (collapses).
+//
+// The pipeline exists in two forms: the retained functions above
+// (Merge → Tuples → Relate/RelateWithRadius) over complete logs, and
+// StreamRelator, which extracts the same Evidence incrementally from an
+// event stream while holding only O(event rate × radius) state — the
+// streaming plane's evidence path, valid whenever radius ≤ window (the
+// paper's 30 s ≤ 330 s).
 package coalesce
 
 import (

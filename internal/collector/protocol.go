@@ -12,6 +12,16 @@
 // available as a debug/compatibility codec, selected per frame by a codec
 // tag, and a cross-codec equivalence test pins that both decode to the same
 // records.
+//
+// The repository runs on either collection plane: retained
+// (NewRepository — every record kept, for raw-record analysis) or
+// streaming (NewStreamingRepository — batches fold into the running
+// analysis.Aggregates as they arrive, with batch watermarks and 1-based
+// sequence numbers keeping the fold order exact across reordered
+// connections, so repository memory is bounded by the senders' flush
+// cadence rather than the campaign length). Batches lost in transit are
+// surfaced, never swallowed: rejected batches count in
+// Repository.Rejected and unfilled sequence gaps in Aggregates.SeqGaps.
 package collector
 
 import (

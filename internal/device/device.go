@@ -10,8 +10,8 @@
 // and Win carry the HAL/hotplug defect behind the bind failures of Figure 4.
 //
 // The paper states antennas sit at 0.5 m, 5 m and 7 m but not which host
-// sits where; we assign two PANUs per distance (documented in DESIGN.md as a
-// reproduction assumption).
+// sits where; we assign two PANUs per distance (documented in
+// ARCHITECTURE.md as a reproduction assumption).
 package device
 
 import (
@@ -106,6 +106,16 @@ func Catalog() []Spec {
 			Transport: transport.KindBCSP, DistanceM: 7, IsPDA: true,
 		},
 	}
+}
+
+// NAP returns the catalogue's access-point machine.
+func NAP() Spec {
+	for _, s := range Catalog() {
+		if s.IsNAP {
+			return s
+		}
+	}
+	panic("device: catalogue has no NAP")
 }
 
 // PANUs returns the catalogue minus the NAP.

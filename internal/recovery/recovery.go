@@ -9,7 +9,7 @@
 // a per-failure-type distribution calibrated against Table 3 (anchored on
 // the paper's explicit numbers: NAP-not-found→stack reset 61.4 %, packet
 // loss→socket reset 5.9 %, connect-failed ≥ app-restart 84.6 %; the
-// remaining cells are a documented reconstruction, see EXPERIMENTS.md).
+// remaining cells are a documented reconstruction, see ARCHITECTURE.md).
 // Action j clears any failure of depth ≤ j, so the cascade stops at the
 // first action ≥ d and the failure's severity is exactly d.
 package recovery

@@ -1,0 +1,338 @@
+package scatternet
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/pan"
+	"repro/internal/recovery"
+	"repro/internal/sim"
+	"repro/internal/stack"
+)
+
+// overlaySeedSalt decorrelates the overlay world from every piconet world
+// derived from the same root seed.
+const overlaySeedSalt = 0xB41D65CA77E27E7
+
+// overlay is the inter-piconet plane: one independent simulation world that
+// owns every bridge node plus one NAP-side anchor per piconet. The anchor
+// is the piconet's access point as the bridge sees it — a full NAP host
+// (HCI, SDP server, PAN profile) built from the catalogue's NAP machine —
+// so bridge attachment and relay traffic exercise the real connection and
+// data paths without reaching into the piconet worlds (which is what keeps
+// every piconet bit-identical to its standalone run).
+type overlay struct {
+	world   *sim.World
+	naps    []*stack.Host
+	bridges []*bridge
+	connID  uint64
+}
+
+// newOverlay builds the overlay world for the configured topology.
+func newOverlay(cfg Config) *overlay {
+	o := &overlay{world: sim.NewWorld(cfg.Seed ^ overlaySeedSalt)}
+	napSpec := device.NAP()
+	for p := 0; p < cfg.Piconets; p++ {
+		spec := napSpec
+		spec.Name = fmt.Sprintf("nap%d", p)
+		// Anchor system errors are the piconet side's noise; the bridge
+		// table attributes only bridge-raised errors, so drop them.
+		o.naps = append(o.naps, spec.BuildHost(o.world, &o.connID,
+			func(core.ErrorCode, string) {}))
+	}
+	panus := device.PANUs()
+	for i := 0; i < cfg.Bridges; i++ {
+		spec := panus[i%len(panus)]
+		serves := []int{i % cfg.Piconets, (i + 1) % cfg.Piconets}
+		o.bridges = append(o.bridges, newBridge(cfg, o, i, spec, serves))
+	}
+	return o
+}
+
+// Run starts every bridge and advances the overlay world to the horizon.
+func (o *overlay) Run(duration sim.Time) {
+	for _, b := range o.bridges {
+		b.start()
+	}
+	o.world.RunUntil(duration)
+}
+
+// Table gathers the bridge-attributed aggregate.
+func (o *overlay) Table() *analysis.BridgeTable {
+	t := &analysis.BridgeTable{}
+	for _, b := range o.bridges {
+		t.Rows = append(t.Rows, b.acc)
+	}
+	return t
+}
+
+// residencyAt reports which serves-index the hold schedule dictates at
+// instant t: residency rotates one served piconet per HoldTime, anchored at
+// t = 0. A bridge that recovers mid-slot rejoins at the residency the
+// schedule dictates now — it does not resume where it failed.
+func residencyAt(t, hold sim.Time, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int((int64(t) / int64(hold)) % int64(n))
+}
+
+// relaySDU is one queued inter-piconet SDU (its arrival instant, for the
+// store-and-forward latency accounting).
+type relaySDU struct {
+	at sim.Time
+}
+
+// bridge is one scatternet bridge node: a complete PANU-side stack host
+// that time-shares attachment across the piconets it serves, relays queued
+// SDUs through its PAN connection, and fails through the standard recovery
+// cascade — taking the inter-piconet service of every served piconet down
+// with it for the recovery TTR.
+type bridge struct {
+	name    string
+	cfg     Config
+	world   *sim.World
+	host    *stack.Host
+	cascade *recovery.Cascade
+	rng     *rand.Rand
+	arrRNGs []*rand.Rand
+	serves  []int
+	naps    []*stack.Host
+	acc     *analysis.BridgeAccum
+
+	resident  int
+	attached  bool
+	conn      *pan.Conn
+	pipe      *stack.Pipe
+	downUntil sim.Time
+	busyUntil sim.Time
+	queues    [][]relaySDU
+
+	fnHop, fnDrain, fnRejoin func()
+	fnArrive                 []func()
+}
+
+// newBridge assembles bridge i from a catalogue machine.
+func newBridge(cfg Config, o *overlay, i int, spec device.Spec, serves []int) *bridge {
+	name := fmt.Sprintf("bridge%d", i)
+	hostCfg := spec.HostConfig()
+	if cfg.MutateBridgeHost != nil {
+		cfg.MutateBridgeHost(name, &hostCfg)
+	}
+	b := &bridge{
+		name:   name,
+		cfg:    cfg,
+		world:  o.world,
+		rng:    o.world.RNG("bridge." + name),
+		serves: serves,
+		acc:    analysis.NewBridgeAccum(name, spec.Name, serves),
+		queues: make([][]relaySDU, len(serves)),
+	}
+	// The transport RNG stream is named after the spec, so give the bridge
+	// a uniquely named copy (two bridges may share a catalogue machine).
+	spec.Name = name
+	b.host = stack.NewHost(hostCfg, o.world, name, spec.OS, spec.DistanceM,
+		spec.IsPDA, false, spec.BuildTransport(o.world), &o.connID,
+		func(core.ErrorCode, string) { b.acc.SysErrors++ })
+	b.cascade = recovery.NewCascade(b.host, o.world.RNG("recovery."+name))
+	for _, p := range serves {
+		b.naps = append(b.naps, o.naps[p])
+	}
+	b.fnHop = b.hop
+	b.fnDrain = b.drain
+	b.fnRejoin = b.rejoin
+	for d := range serves {
+		d := d
+		b.arrRNGs = append(b.arrRNGs, o.world.RNG(fmt.Sprintf("relay.%s.%d", name, d)))
+		b.fnArrive = append(b.fnArrive, func() { b.arrive(d) })
+	}
+	return b
+}
+
+// start schedules the bridge's first attach (staggered so bridges do not
+// page their NAPs in lockstep), the hold-time rotation, and the relay
+// traffic arrival processes.
+func (b *bridge) start() {
+	b.world.At(sim.Time(b.rng.Int64N(int64(sim.Second))), b.fnRejoin)
+	b.world.At(b.cfg.HoldTime, b.fnHop)
+	for d := range b.serves {
+		b.world.ScheduleAfter(b.nextArrival(d), b.fnArrive[d])
+	}
+}
+
+// nextArrival samples the flow's exponential inter-arrival time.
+func (b *bridge) nextArrival(d int) sim.Time {
+	return sim.Time(b.arrRNGs[d].ExpFloat64() * float64(b.cfg.RelayEvery))
+}
+
+// arrive handles one relay SDU offered for destination serves[d]. Offered
+// traffic during an outage is lost — a bridge failure costs every served
+// piconet its inter-piconet service, which is the correlated-outage signal.
+func (b *bridge) arrive(d int) {
+	now := b.world.Now()
+	switch {
+	case now < b.downUntil:
+		b.acc.AddOutageDrop(b.serves[d])
+	case len(b.queues[d]) >= b.cfg.QueueCap:
+		b.acc.AddQueueDrop(b.serves[d])
+	default:
+		b.queues[d] = append(b.queues[d], relaySDU{at: now})
+		if b.attached && b.resident == d {
+			delay := b.busyUntil - now
+			if delay < 0 {
+				delay = 0
+			}
+			b.world.ScheduleAfter(delay, b.fnDrain)
+		}
+	}
+	b.world.ScheduleAfter(b.nextArrival(d), b.fnArrive[d])
+}
+
+// hop fires at every HoldTime boundary: the bridge leaves its current
+// piconet and attaches to the one the schedule dictates. A bridge that is
+// down skips the boundary (it rejoins when recovery completes).
+func (b *bridge) hop() {
+	now := b.world.Now()
+	b.world.At(now+b.cfg.HoldTime, b.fnHop)
+	if now < b.downUntil {
+		return
+	}
+	next := residencyAt(now, b.cfg.HoldTime, len(b.serves))
+	if b.attached && next == b.resident {
+		return
+	}
+	b.detach()
+	if b.attach(next) && b.cfg.OnBridgeHop != nil {
+		b.cfg.OnBridgeHop(b.name, now, b.serves[next])
+	}
+}
+
+// rejoin attaches the bridge to the schedule-dictated piconet outside the
+// boundary rotation: at campaign start and when an outage ends mid-slot.
+func (b *bridge) rejoin() {
+	now := b.world.Now()
+	if b.attached || now < b.downUntil {
+		return
+	}
+	b.attach(residencyAt(now, b.cfg.HoldTime, len(b.serves)))
+}
+
+// detach quietly leaves the current piconet.
+func (b *bridge) detach() {
+	if b.conn != nil {
+		b.host.PANU.Disconnect(b.conn, b.naps[b.resident].NAP)
+	}
+	b.conn, b.pipe = nil, nil
+	b.attached = false
+}
+
+// attach joins piconet serves[idx] through the full connection chain —
+// baseband page, PAN profile connect, master/slave switch (the operation
+// that makes a node a scatternet bridge) — and reports success. Failures
+// run the bridge failure path.
+func (b *bridge) attach(idx int) bool {
+	b.resident = idx
+	nap := b.naps[idx]
+	var dur sim.Time
+	hd, res := b.host.HCI.CreateConnection(nap.Node)
+	dur += res.Dur
+	if res.Err != nil {
+		b.fail(core.UFConnectFailed)
+		return false
+	}
+	conn, pres := b.host.PANU.Connect(hd, nap.NAP, true)
+	dur += pres.Dur
+	if pres.Err != nil {
+		if pres.Stage == pan.StageL2CAP {
+			b.fail(core.UFConnectFailed)
+		} else {
+			b.fail(core.UFPANConnectFailed)
+		}
+		return false
+	}
+	b.conn = conn
+	sres := b.host.PANU.SwitchRole(conn, nap.NAP)
+	dur += sres.Dur
+	if sres.Err != nil {
+		if pan.RequestLegFailed(sres.Err) {
+			b.fail(core.UFSwitchRoleRequestFailed)
+		} else {
+			b.fail(core.UFSwitchRoleCommandFailed)
+		}
+		return false
+	}
+	b.pipe = b.host.OpenPipe(conn)
+	b.attached = true
+	b.busyUntil = b.world.Now() + dur
+	b.acc.AddHop()
+	if len(b.queues[idx]) > 0 {
+		b.world.ScheduleAfter(dur, b.fnDrain)
+	}
+	return true
+}
+
+// drain relays the resident piconet's queued SDUs through the pipe. A lost
+// SDU is a bridge failure mid-relay: the remaining queue survives for the
+// next residency, but the bridge goes down for the recovery TTR.
+func (b *bridge) drain() {
+	if !b.attached || b.world.Now() < b.downUntil {
+		return
+	}
+	now := b.world.Now()
+	if now < b.busyUntil {
+		// The link is still carrying an earlier transfer; try again when
+		// it frees up instead of overlapping transmissions.
+		b.world.At(b.busyUntil, b.fnDrain)
+		return
+	}
+	q := b.queues[b.resident]
+	var dur sim.Time
+	for i, sdu := range q {
+		outcome, elapsed := b.pipe.SendPacket(core.PTDH5, b.cfg.RelayBytes)
+		dur += elapsed
+		switch outcome {
+		case stack.PacketLost:
+			b.acc.AddRelayLoss(b.serves[b.resident])
+			b.queues[b.resident] = append(q[:0], q[i+1:]...)
+			b.fail(core.UFPacketLoss)
+			return
+		case stack.PacketCorrupted:
+			b.acc.AddCorruption(b.serves[b.resident])
+		default:
+			b.acc.AddDelivery(b.serves[b.resident], (now + dur - sdu.at).Seconds())
+		}
+	}
+	b.queues[b.resident] = q[:0]
+	b.extendBusy(now + dur)
+}
+
+// extendBusy advances the link-busy horizon monotonically (a no-op drain
+// must never roll an in-flight transfer's window back).
+func (b *bridge) extendBusy(until sim.Time) {
+	if until > b.busyUntil {
+		b.busyUntil = until
+	}
+}
+
+// fail runs the bridge's recovery for a failure of kind f and opens the
+// correlated outage window: the bridge drops its piconet attachment, stays
+// down for the cascade's TTR, and every piconet it serves records the
+// outage. Recovery completion schedules the rejoin.
+func (b *bridge) fail(f core.UserFailure) {
+	if b.conn != nil {
+		b.host.PANU.Abort(b.conn, b.naps[b.resident].NAP)
+	}
+	b.conn, b.pipe = nil, nil
+	b.attached = false
+	depth, ok := recovery.SampleDepth(f, b.rng)
+	if !ok {
+		return
+	}
+	out := b.cascade.RunWithDepth(b.cfg.Scenario, depth)
+	b.downUntil = b.world.Now() + out.TTR
+	b.acc.AddOutage(f, out.TTR.Seconds())
+	b.world.At(b.downUntil, b.fnRejoin)
+}

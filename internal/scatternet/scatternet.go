@@ -1,0 +1,279 @@
+// Package scatternet composes the paper's single-piconet testbeds into a
+// bridged multi-piconet topology — the scenario the paper's taxonomy lacks
+// and scatternet studies need (BlueSky, arXiv:1308.2950; Bluetooth-mesh
+// reliability, arXiv:1910.03345): large Bluetooth networks live or die by
+// the behavior of the bridge nodes that time-share membership across
+// piconets.
+//
+// The composition keeps the repo's determinism architecture intact:
+//
+//   - Each piconet is a full paper campaign (random + realistic testbed
+//     pair, built by testbed.NewCampaign) running in its own simulation
+//     world. Piconet 0 uses the scatternet's root seed unchanged, so a
+//     1-piconet scatternet is bit-identical to the classic single-piconet
+//     campaign, and adding piconets or bridges never perturbs another
+//     piconet's tables (no state crosses world boundaries).
+//   - Bridges live in one additional overlay world together with a NAP-side
+//     anchor per piconet. A bridge is a complete stack.Host built from the
+//     device catalogue; it attaches to one piconet at a time on a hold-time
+//     rotation, carries relayed SDUs through the real HCI → L2CAP → BNEP →
+//     PAN path over its radio link, and fails through the same
+//     device/recovery processes as any testbed node. A bridge failure takes
+//     the inter-piconet service of every piconet it serves down for the
+//     recovery TTR — the correlated outage the analysis attributes per
+//     bridge and per piconet (analysis.BridgeTable).
+//
+// All aggregation is streaming-compatible: per-piconet tables come from one
+// analysis.Streamer per piconet and the bridge accumulators are O(1) by
+// construction, so month-scale scatternet campaigns run in constant memory.
+package scatternet
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/recovery"
+	"repro/internal/sim"
+	"repro/internal/stack"
+	"repro/internal/testbed"
+)
+
+// Defaults for the bridge overlay knobs.
+const (
+	// DefaultHoldTime is the bridge residency per piconet visit.
+	DefaultHoldTime = 10 * sim.Second
+	// DefaultRelayEvery is the mean inter-arrival of relay SDUs per
+	// directed inter-piconet flow.
+	DefaultRelayEvery = 30 * sim.Second
+	// DefaultRelayBytes is the relayed SDU size (a bulk BNEP payload).
+	DefaultRelayBytes = 1024
+	// DefaultQueueCap bounds each store-and-forward queue so overlay
+	// memory stays O(1) even when a bridge is down for a long recovery.
+	DefaultQueueCap = 64
+)
+
+// Config describes one scatternet campaign.
+type Config struct {
+	// Seed roots all randomness; piconet p derives PiconetSeed(Seed, p) and
+	// the bridge overlay derives its own independent world seed.
+	Seed uint64
+	// Duration is the virtual observation window.
+	Duration sim.Time
+	// Scenario selects the recovery regime for piconet nodes and bridges.
+	Scenario recovery.Scenario
+	// Piconets is the number of composed piconet campaigns (>= 1).
+	Piconets int
+	// Bridges is the number of bridge nodes (0 disables the overlay;
+	// bridges need at least two piconets to connect). Bridge b serves the
+	// piconet ring pair (b mod Piconets, (b+1) mod Piconets).
+	Bridges int
+	// HoldTime is the bridge residency per piconet visit (default 10 s):
+	// at every multiple of HoldTime a bridge detaches from its current
+	// piconet and attaches to the next one it serves.
+	HoldTime sim.Time
+	// RelayEvery is the mean inter-arrival of relay SDUs per directed
+	// inter-piconet flow (default 30 s, exponential).
+	RelayEvery sim.Time
+	// RelayBytes is the relayed SDU size (default 1024).
+	RelayBytes int
+	// QueueCap bounds each per-destination store-and-forward queue
+	// (default 64); arrivals beyond it are counted as queue drops.
+	QueueCap int
+	// Streaming folds each piconet's records into running aggregates as
+	// they are collected (O(1) memory in campaign length), exactly like
+	// the single-piconet streaming plane.
+	Streaming bool
+	// FlushEvery is the streaming drain cadence (default one virtual hour).
+	FlushEvery sim.Time
+	// Parallelism 0 (default) runs the piconets and the bridge overlay on
+	// separate goroutines (each owns its world, so results are identical
+	// to sequential execution); 1 forces a single goroutine.
+	Parallelism int
+
+	// MutateBridgeHost adjusts bridge host configurations before the
+	// overlay is built (fault-forcing hook for tests).
+	MutateBridgeHost func(bridge string, cfg *stack.Config)
+	// OnBridgeHop observes completed residency switches (test hook; must
+	// not retain references past the call).
+	OnBridgeHop func(bridge string, at sim.Time, piconet int)
+}
+
+// withDefaults fills the zero-value knobs.
+func (c Config) withDefaults() Config {
+	if c.HoldTime == 0 {
+		c.HoldTime = DefaultHoldTime
+	}
+	if c.RelayEvery == 0 {
+		c.RelayEvery = DefaultRelayEvery
+	}
+	if c.RelayBytes == 0 {
+		c.RelayBytes = DefaultRelayBytes
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = DefaultQueueCap
+	}
+	if c.FlushEvery == 0 {
+		c.FlushEvery = sim.Hour
+	}
+	return c
+}
+
+// Validate reports configuration errors (on the defaulted view, so a zero
+// HoldTime is filled in, not rejected).
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	switch {
+	case c.Duration <= 0:
+		return fmt.Errorf("scatternet: non-positive campaign duration")
+	case c.Scenario < recovery.ScenarioRebootOnly || c.Scenario > recovery.ScenarioSIRAsMasking:
+		return fmt.Errorf("scatternet: unknown scenario %d", c.Scenario)
+	case c.Piconets < 1:
+		return fmt.Errorf("scatternet: need at least one piconet, got %d", c.Piconets)
+	case c.Bridges < 0:
+		return fmt.Errorf("scatternet: negative bridge count")
+	case c.Bridges > 0 && c.Piconets < 2:
+		return fmt.Errorf("scatternet: %d bridge(s) need at least two piconets to connect", c.Bridges)
+	case c.HoldTime <= 0:
+		return fmt.Errorf("scatternet: non-positive bridge hold time")
+	case c.RelayEvery <= 0:
+		return fmt.Errorf("scatternet: non-positive relay inter-arrival time")
+	case c.RelayBytes <= 0:
+		return fmt.Errorf("scatternet: non-positive relay SDU size")
+	case c.QueueCap <= 0:
+		return fmt.Errorf("scatternet: non-positive relay queue capacity")
+	case c.FlushEvery < 0:
+		return fmt.Errorf("scatternet: negative streaming flush interval")
+	}
+	return nil
+}
+
+// PiconetSeed derives piconet p's campaign seed. Piconet 0 keeps the root
+// seed unchanged — the 1-piconet ≡ single-piconet bit-identity guarantee —
+// and later piconets decorrelate through a golden-ratio multiply.
+func PiconetSeed(seed uint64, p int) uint64 {
+	if p == 0 {
+		return seed
+	}
+	return seed ^ (uint64(p) * 0x9E3779B97F4A7C15)
+}
+
+// Piconet is one composed piconet's collected data.
+type Piconet struct {
+	// Index is the piconet's position in the scatternet.
+	Index int
+	// Random / Realistic are the piconet's testbed results (light parts
+	// only in streaming mode, as in the single-piconet campaign).
+	Random, Realistic *testbed.Results
+	// Agg is the piconet's streaming aggregation state (nil when retained).
+	Agg *analysis.Aggregates
+}
+
+// Result bundles a finished scatternet campaign.
+type Result struct {
+	Config   Config
+	Piconets []*Piconet
+	// Bridges is the bridge-attributed aggregate (empty table when the
+	// campaign had no bridges).
+	Bridges *analysis.BridgeTable
+}
+
+// Campaign is a live scatternet: the per-piconet testbed pairs plus the
+// bridge overlay.
+type Campaign struct {
+	cfg     Config
+	pairs   []*testbed.Campaign
+	overlay *overlay
+}
+
+// New assembles the scatternet: one testbed pair per piconet (piconet 0
+// with the unmodified root seed) and, when bridges are configured, the
+// overlay world with its bridge hosts and per-piconet NAP anchors.
+func New(cfg Config) (*Campaign, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Campaign{cfg: cfg}
+	for p := 0; p < cfg.Piconets; p++ {
+		pair, err := testbed.NewCampaign(PiconetSeed(cfg.Seed, p), cfg.Scenario, nil)
+		if err != nil {
+			return nil, err
+		}
+		c.pairs = append(c.pairs, pair)
+	}
+	if cfg.Bridges > 0 {
+		c.overlay = newOverlay(cfg)
+	}
+	return c, nil
+}
+
+// Run drives every piconet pair and the bridge overlay for the configured
+// duration and gathers the results. The piconets and the overlay are fully
+// independent simulations (each owns its kernel, RNG rig, hosts and logs),
+// so they run on separate goroutines unless Parallelism forces one; per-seed
+// determinism is untouched because no state crosses a world boundary until
+// everything has finished.
+func (c *Campaign) Run() (*Result, error) {
+	res := &Result{
+		Config:   c.cfg,
+		Piconets: make([]*Piconet, len(c.pairs)),
+		Bridges:  &analysis.BridgeTable{},
+	}
+	errs := make([]error, len(c.pairs))
+	if c.cfg.Parallelism == 1 {
+		for p := range c.pairs {
+			res.Piconets[p], errs[p] = c.runPiconet(p)
+		}
+		if c.overlay != nil {
+			c.overlay.Run(c.cfg.Duration)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for p := range c.pairs {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				res.Piconets[p], errs[p] = c.runPiconet(p)
+			}(p)
+		}
+		if c.overlay != nil {
+			c.overlay.Run(c.cfg.Duration)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if c.overlay != nil {
+		res.Bridges = c.overlay.Table()
+	}
+	return res, nil
+}
+
+// runPiconet runs one piconet's testbed pair on the configured plane. The
+// control flow mirrors the single-piconet campaign runner exactly, so
+// piconet 0's outputs are bit-identical to it.
+func (c *Campaign) runPiconet(p int) (*Piconet, error) {
+	pair := c.pairs[p]
+	pic := &Piconet{Index: p}
+	if c.cfg.Streaming {
+		s, err := analysis.NewStreamer(pair.StreamSpec())
+		if err != nil {
+			return nil, err
+		}
+		if c.cfg.Parallelism == 1 {
+			pic.Random, pic.Realistic = pair.RunStreamingSequential(c.cfg.Duration, c.cfg.FlushEvery, s)
+		} else {
+			pic.Random, pic.Realistic = pair.RunStreaming(c.cfg.Duration, c.cfg.FlushEvery, s)
+		}
+		pic.Agg = s.Finalize()
+	} else if c.cfg.Parallelism == 1 {
+		pic.Random, pic.Realistic = pair.RunSequential(c.cfg.Duration)
+	} else {
+		pic.Random, pic.Realistic = pair.Run(c.cfg.Duration)
+	}
+	return pic, nil
+}

@@ -1,0 +1,202 @@
+package scatternet
+
+import (
+	"testing"
+
+	"repro/internal/recovery"
+	"repro/internal/sim"
+	"repro/internal/stack"
+)
+
+// baseConfig returns a small two-piconet, one-bridge campaign config.
+func baseConfig() Config {
+	return Config{
+		Seed:     3,
+		Duration: 2 * sim.Hour,
+		Scenario: recovery.ScenarioSIRAs,
+		Piconets: 2,
+		Bridges:  1,
+		HoldTime: 5 * sim.Second,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{"base", func(c *Config) {}, true},
+		{"one piconet no bridges", func(c *Config) { c.Piconets, c.Bridges = 1, 0 }, true},
+		{"zero piconets", func(c *Config) { c.Piconets = 0 }, false},
+		{"bridge needs two piconets", func(c *Config) { c.Piconets = 1 }, false},
+		{"negative bridges", func(c *Config) { c.Bridges = -1 }, false},
+		{"no duration", func(c *Config) { c.Duration = 0 }, false},
+		{"bad scenario", func(c *Config) { c.Scenario = 9 }, false},
+		{"negative hold", func(c *Config) { c.HoldTime = -sim.Second }, false},
+		{"defaulted knobs", func(c *Config) { c.HoldTime, c.RelayEvery, c.RelayBytes = 0, 0, 0 }, true},
+	}
+	for _, tc := range cases {
+		cfg := baseConfig()
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestPiconetSeed(t *testing.T) {
+	if got := PiconetSeed(42, 0); got != 42 {
+		t.Fatalf("PiconetSeed(42, 0) = %d, must keep the root seed", got)
+	}
+	seen := map[uint64]int{42: 0}
+	for p := 1; p < 8; p++ {
+		s := PiconetSeed(42, p)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("piconets %d and %d share seed %d", prev, p, s)
+		}
+		seen[s] = p
+	}
+}
+
+// TestResidencySchedule pins the hold-time rotation at and around the
+// boundaries: residency changes exactly at multiples of the hold time.
+func TestResidencySchedule(t *testing.T) {
+	h := 5 * sim.Second
+	cases := []struct {
+		at   sim.Time
+		n    int
+		want int
+	}{
+		{0, 2, 0},
+		{h - 1, 2, 0},           // just below the first boundary
+		{h, 2, 1},               // exactly on it
+		{h + 1, 2, 1},           // just past it
+		{2*h - 1, 2, 1},         // end of the second slot
+		{2 * h, 2, 0},           // wraps around
+		{7*h + h/2, 2, 1},       // mid-slot, odd slot
+		{3 * h, 3, 0},           // three-way rotation wraps
+		{4*h + h - 1, 3, 1},     // stays put through a whole slot
+		{1000000 * h, 2, 0},     // deep into the campaign
+		{1000001*h + h/3, 2, 1}, // and one slot later
+	}
+	for _, tc := range cases {
+		if got := residencyAt(tc.at, h, tc.n); got != tc.want {
+			t.Errorf("residencyAt(%v, %v, %d) = %d, want %d", tc.at, h, tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestBridgeHopsOnBoundaries runs a real campaign and asserts every
+// completed residency switch lands exactly on a hold-time boundary and
+// attaches to the piconet the schedule dictates — including boundaries the
+// bridge crosses right after recovering from an outage.
+func TestBridgeHopsOnBoundaries(t *testing.T) {
+	cfg := baseConfig()
+	hops := 0
+	cfg.OnBridgeHop = func(bridge string, at sim.Time, piconet int) {
+		hops++
+		if at%cfg.HoldTime != 0 {
+			t.Errorf("%s hopped at %v, not a multiple of the hold time %v", bridge, at, cfg.HoldTime)
+		}
+		want := residencyAt(at, cfg.HoldTime, 2)
+		if piconet != want {
+			t.Errorf("%s resident in piconet %d at %v, schedule dictates %d", bridge, piconet, at, want)
+		}
+	}
+	camp, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hops == 0 {
+		t.Fatal("bridge never hopped in two virtual hours")
+	}
+	row := res.Bridges.Rows[0]
+	if row.Hops < hops {
+		t.Errorf("accumulator recorded %d hops, hook saw %d boundary hops", row.Hops, hops)
+	}
+}
+
+// TestBridgeFailureWhileRelaying forces the first relay transfers to fail
+// (every pipe carries an immediate latent defect) and checks the correlated
+// outage accounting: the failure is recovered through the standard cascade,
+// both served piconets record every outage, and traffic offered while the
+// bridge is down is counted against the piconets that lost it.
+func TestBridgeFailureWhileRelaying(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Duration = 6 * sim.Hour
+	cfg.RelayEvery = 2 * sim.Second // dense traffic: outages always see offered SDUs
+	cfg.MutateBridgeHost = func(bridge string, hc *stack.Config) {
+		hc.LatentDefectProb = 1 // every connection's pipe fails young
+		hc.LatentMeanPackets = 1
+	}
+	camp, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Bridges.Rows[0]
+	if row.Outages == 0 {
+		t.Fatal("latent-defect bridge produced no outage in six virtual hours")
+	}
+	if row.RelayLost == 0 {
+		t.Error("no relay SDU was recorded lost despite forced defects")
+	}
+	if row.Downtime.Sum() <= 0 {
+		t.Error("outages accumulated no downtime")
+	}
+	if len(row.Coupling) != 2 {
+		t.Fatalf("bridge couples %d piconets, want 2", len(row.Coupling))
+	}
+	for _, c := range row.Coupling {
+		if c.Outages != row.Outages {
+			t.Errorf("piconet %d saw %d outages, bridge had %d — coupling must be correlated",
+				c.Piconet, c.Outages, row.Outages)
+		}
+	}
+	dropped := 0
+	for _, c := range row.Coupling {
+		dropped += c.DroppedInOutage
+	}
+	if dropped == 0 {
+		t.Error("no SDU was dropped during outages despite 2 s arrivals and minute-scale TTRs")
+	}
+	if got, want := res.Bridges.CorrelatedOutages(), 2*row.Outages; got != want {
+		t.Errorf("CorrelatedOutages() = %d, want %d (outages x served piconets)", got, want)
+	}
+}
+
+// TestRunDeterministic pins that the parallel orchestration cannot change
+// bridge-attributed results: sequential and parallel runs agree exactly.
+func TestRunDeterministic(t *testing.T) {
+	run := func(parallelism int) *Result {
+		cfg := baseConfig()
+		cfg.Duration = 1 * sim.Hour
+		cfg.Parallelism = parallelism
+		camp, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := camp.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	par, seq := run(0), run(1)
+	pr, sr := par.Bridges.Rows[0], seq.Bridges.Rows[0]
+	if pr.Hops != sr.Hops || pr.Relayed != sr.Relayed || pr.Outages != sr.Outages ||
+		pr.RelayLost != sr.RelayLost || pr.Downtime.Sum() != sr.Downtime.Sum() {
+		t.Errorf("parallel and sequential scatternet runs diverge:\n par %+v\n seq %+v", pr, sr)
+	}
+	if len(par.Piconets) != len(seq.Piconets) {
+		t.Fatal("piconet count diverges")
+	}
+}

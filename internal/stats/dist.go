@@ -4,6 +4,17 @@
 // realistic traffic models, binomial packet-type draws for the random
 // workload, and the knee detection that picks the coalescence window in the
 // sensitivity analysis of Figure 2.
+//
+// Two properties matter to the streaming/sweep planes built on top:
+//
+//   - Summary (Welford) and Histogram accumulate in a single pass with O(1)
+//     state and support Merge, so per-shard accumulations combine into
+//     campaign totals exactly (the shard-merge associativity tests pin
+//     this), which is what keeps month-scale streaming aggregation and
+//     checkpointable sweeps possible.
+//   - Estimate/CI95 turn per-seed observations into mean ± 95 % confidence
+//     intervals (Student-t for small seed counts), the cell type of every
+//     sweep table.
 package stats
 
 import (

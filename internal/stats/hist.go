@@ -8,8 +8,8 @@ import (
 )
 
 // Histogram buckets observations into fixed-width bins over [Lo, Hi); values
-// outside the range land in saturating edge bins. It renders the text-mode
-// "figures" in EXPERIMENTS.md and the btrepro output.
+// outside the range land in saturating edge bins. It backs the text-mode
+// "figures" of the btrepro output and the streaming Figure 3b view.
 type Histogram struct {
 	Lo, Hi float64
 	bins   []int

@@ -38,6 +38,9 @@ func (s *Summary) N() int { return s.n }
 // Mean reports the sample mean (0 when empty).
 func (s *Summary) Mean() float64 { return s.mean }
 
+// Sum reports the total of the observations (mean times count).
+func (s *Summary) Sum() float64 { return s.mean * float64(s.n) }
+
 // Var reports the unbiased sample variance (0 when fewer than 2 samples).
 func (s *Summary) Var() float64 {
 	if s.n < 2 {

@@ -1,0 +1,111 @@
+package btpan
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/scatternet"
+	"repro/internal/sim"
+)
+
+// ScatternetConfig configures a multi-piconet scatternet campaign: the
+// embedded CampaignConfig supplies the per-piconet campaign knobs (seed,
+// duration, scenario, aggregation plane) and the topology fields describe
+// the bridged composition. A {Piconets: 1, Bridges: 0} scatternet is the
+// classic single-piconet campaign — bit-identical on a fixed seed (see
+// TestScatternetOnePiconetEquivalence).
+type ScatternetConfig struct {
+	CampaignConfig
+	// Piconets is the number of composed piconet campaigns (>= 1).
+	// Piconet 0 runs on the root seed unchanged; piconet p > 0 derives
+	// scatternet.PiconetSeed(Seed, p).
+	Piconets int
+	// Bridges is the number of bridge nodes time-sharing across piconets
+	// (bridge b serves the ring pair b mod Piconets, (b+1) mod Piconets).
+	Bridges int
+	// HoldTime is the bridge residency per piconet visit (default 10 s).
+	HoldTime sim.Time
+	// RelayEvery is the mean relay-SDU inter-arrival per directed
+	// inter-piconet flow (default 30 s).
+	RelayEvery sim.Time
+	// RelayBytes is the relayed SDU size (default 1024).
+	RelayBytes int
+}
+
+// internalConfig maps the public config onto the scatternet engine's.
+func (c ScatternetConfig) internalConfig() scatternet.Config {
+	return scatternet.Config{
+		Seed:        c.Seed,
+		Duration:    c.Duration,
+		Scenario:    c.Scenario,
+		Piconets:    c.Piconets,
+		Bridges:     c.Bridges,
+		HoldTime:    c.HoldTime,
+		RelayEvery:  c.RelayEvery,
+		RelayBytes:  c.RelayBytes,
+		Streaming:   c.Streaming,
+		FlushEvery:  c.FlushEvery,
+		Parallelism: c.Parallelism,
+	}
+}
+
+// Validate reports configuration errors.
+func (c ScatternetConfig) Validate() error { return c.internalConfig().Validate() }
+
+// ScatternetResult bundles a finished scatternet campaign: one full
+// CampaignResult per piconet (every table/figure method answers per
+// piconet) plus the bridge-attributed failure-coupling aggregate.
+type ScatternetResult struct {
+	Config ScatternetConfig
+	// Piconets holds the per-piconet campaign results in topology order;
+	// Piconets[0] is the classic campaign of the root seed.
+	Piconets []*CampaignResult
+	// Bridges attributes inter-piconet traffic and correlated outages to
+	// the bridge nodes (empty table when the campaign had no bridges).
+	Bridges *analysis.BridgeTable
+}
+
+// RunScatternet builds and runs the scatternet campaign: every piconet is a
+// full two-testbed paper campaign in its own simulation world, and the
+// bridge overlay carries relayed inter-piconet traffic through the real
+// stack path, failing through the standard recovery cascade. Piconets and
+// the overlay are independent simulations, so they run concurrently with
+// bit-identical results to a sequential pass (Parallelism: 1 to force one).
+func RunScatternet(cfg ScatternetConfig) (*ScatternetResult, error) {
+	camp, err := scatternet.New(cfg.internalConfig())
+	if err != nil {
+		return nil, err
+	}
+	res, err := camp.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := &ScatternetResult{Config: cfg, Bridges: res.Bridges}
+	for _, pic := range res.Piconets {
+		picCfg := cfg.CampaignConfig
+		picCfg.Seed = scatternet.PiconetSeed(cfg.Seed, pic.Index)
+		out.Piconets = append(out.Piconets, &CampaignResult{
+			Config:    picCfg,
+			Random:    pic.Random,
+			Realistic: pic.Realistic,
+			Agg:       pic.Agg,
+		})
+	}
+	return out, nil
+}
+
+// Piconet returns piconet p's campaign result.
+func (r *ScatternetResult) Piconet(p int) *CampaignResult { return r.Piconets[p] }
+
+// Overview lines up every piconet's dataset sizes and dependability column.
+func (r *ScatternetResult) Overview() *analysis.PiconetOverview {
+	o := &analysis.PiconetOverview{}
+	for p, pic := range r.Piconets {
+		u, s, _ := pic.DataItems()
+		o.Rows = append(o.Rows, analysis.PiconetRow{
+			Piconet:       p,
+			UserReports:   u,
+			SystemEntries: s,
+			Depend:        pic.Dependability(),
+		})
+	}
+	return o
+}

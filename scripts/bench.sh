@@ -2,8 +2,9 @@
 # bench.sh runs the end-to-end campaign benchmarks and emits
 # BENCH_campaign.json so the performance trajectory is tracked across PRs:
 # the day-scale throughput metric (ns/op, B/op, allocs/op — comparable back
-# to PR 1) plus the month-scale streaming benchmark with its live-heap
-# metric (O(1) in campaign days) and the retained 30-day control.
+# to PR 1), the month-scale streaming benchmark with its live-heap metric
+# (O(1) in campaign days) and the retained 30-day control, plus the
+# scatternet day benchmark (4 piconets, 3 bridges, streaming — PR 3).
 # Usage: scripts/bench.sh [day-benchtime] [month-benchtime]
 set -eu
 
@@ -12,29 +13,32 @@ day_benchtime="${1:-5x}"
 month_benchtime="${2:-1x}"
 
 day_out="$(go test -run '^$' -bench '^BenchmarkCampaignDay$' -benchtime "$day_benchtime" -benchmem . | tee /dev/stderr)"
-month_out="$(go test -run '^$' -bench '^BenchmarkCampaignMonth' -benchtime "$month_benchtime" -benchmem . | tee /dev/stderr)"
+month_out="$(go test -run '^$' -bench '^Benchmark(CampaignMonth|ScatternetDay)' -benchtime "$month_benchtime" -benchmem . | tee /dev/stderr)"
 
 printf '%s\n%s\n' "$day_out" "$month_out" | awk '
 # Benchmark lines interleave custom metrics with the standard ones, so pick
 # values by their unit token instead of field position.
-/^BenchmarkCampaign/ {
+/^Benchmark(Campaign|Scatternet)/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns = bytes = allocs = live = items = ""
+    ns = bytes = allocs = live = items = outages = ""
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op") ns = $(i-1)
         if ($i == "B/op") bytes = $(i-1)
         if ($i == "allocs/op") allocs = $(i-1)
         if ($i == "live-MB") live = $(i-1)
         if ($i == "items") items = $(i-1)
+        if ($i == "corr-outages") outages = $(i-1)
     }
     if (name == "BenchmarkCampaignDay") { d_ns = ns; d_b = bytes; d_a = allocs; d_live = live }
     if (name == "BenchmarkCampaignMonth") { m_ns = ns; m_b = bytes; m_a = allocs; m_live = live; m_items = items }
     if (name == "BenchmarkCampaignMonthRetained") { r_live = live }
+    if (name == "BenchmarkScatternetDay") { s_ns = ns; s_b = bytes; s_a = allocs; s_live = live; s_items = items; s_out = outages }
 }
 END {
     if (d_ns == "" || d_b == "" || d_a == "" || d_live == "" ||
         m_ns == "" || m_b == "" || m_a == "" || m_live == "" ||
-        m_items == "" || r_live == "") {
+        m_items == "" || r_live == "" ||
+        s_ns == "" || s_b == "" || s_a == "" || s_live == "" || s_items == "" || s_out == "") {
         print "bench.sh: missing benchmark lines or metrics" > "/dev/stderr"
         exit 1
     }
@@ -52,6 +56,17 @@ END {
     printf "    \"live_mb\": %s,\n", m_live
     printf "    \"items\": %s,\n", m_items
     printf "    \"retained_live_mb\": %s\n", r_live
+    printf "  },\n"
+    printf "  \"scatternet\": {\n"
+    printf "    \"benchmark\": \"BenchmarkScatternetDay\",\n"
+    printf "    \"piconets\": 4,\n"
+    printf "    \"bridges\": 3,\n"
+    printf "    \"ns_per_op\": %s,\n", s_ns
+    printf "    \"bytes_per_op\": %s,\n", s_b
+    printf "    \"allocs_per_op\": %s,\n", s_a
+    printf "    \"live_mb\": %s,\n", s_live
+    printf "    \"items\": %s,\n", s_items
+    printf "    \"correlated_outages\": %s\n", s_out
     printf "  }\n"
     printf "}\n"
 }' >BENCH_campaign.json

@@ -1,0 +1,190 @@
+// Command doclint enforces the repo's documentation bar without external
+// dependencies: every exported top-level declaration (functions, methods,
+// types, and const/var groups) in non-test files must carry a doc comment,
+// and every package must have a package comment in exactly the revive/
+// golint "exported" spirit. CI runs it over the whole module.
+//
+// Usage:
+//
+//	go run ./scripts/doclint [dir ...]   (default: the module tree)
+//
+// Exits non-zero listing file:line for every undocumented exported symbol.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var failures []string
+	for _, root := range roots {
+		dirs, err := goDirs(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		for _, dir := range dirs {
+			f, err := lintDir(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "doclint:", err)
+				os.Exit(2)
+			}
+			failures = append(failures, f...)
+		}
+	}
+	if len(failures) > 0 {
+		sort.Strings(failures)
+		for _, f := range failures {
+			fmt.Println(f)
+		}
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported declaration(s)\n", len(failures))
+		os.Exit(1)
+	}
+}
+
+// goDirs lists every directory under root that contains Go files, skipping
+// hidden directories and testdata.
+func goDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, err
+}
+
+// lintDir checks one directory's non-test files.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: undocumented exported %s %s", p.Filename, p.Line, what, name))
+	}
+	for _, pkg := range pkgs {
+		// Walk files in name order so reports are deterministic (the Files
+		// map iterates in random order).
+		fnames := make([]string, 0, len(pkg.Files))
+		hasPkgDoc := false
+		for fname, file := range pkg.Files {
+			fnames = append(fnames, fname)
+			if file.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		sort.Strings(fnames)
+		for _, fname := range fnames {
+			file := pkg.Files[fname]
+			if !hasPkgDoc {
+				report(file.Package, "package", pkg.Name+" ("+filepath.Base(fname)+")")
+				hasPkgDoc = true // one report per package
+			}
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && exportedRecv(d) && d.Doc == nil {
+						report(d.Pos(), funcKind(d), d.Name.Name)
+					}
+				case *ast.GenDecl:
+					lintGen(d, report)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// funcKind labels a FuncDecl for the report.
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// exportedRecv reports whether a method's receiver type is exported (a
+// method on an unexported type is not part of the package surface).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// lintGen checks a type/const/var declaration group: the group doc covers
+// every spec; otherwise each exported spec needs its own.
+func lintGen(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+		return
+	}
+	if d.Doc != nil {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(s.Pos(), strings.ToLower(d.Tok.String()), name.Name)
+					break
+				}
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/recovery"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // SweepConfig configures a multi-seed campaign sweep: N independent
@@ -34,6 +35,38 @@ type SweepConfig struct {
 	// Retained switches the per-seed campaigns to the record-retaining
 	// plane (debugging / raw-record analysis; memory grows with duration).
 	Retained bool
+	// Piconets/Bridges/HoldTime switch the sweep to scatternet campaigns:
+	// when either Piconets or Bridges is set, every seed runs a scatternet
+	// of that topology instead of a single-piconet campaign (Piconets: 1,
+	// Bridges: 0 is the degenerate scatternet, bit-identical to a classic
+	// sweep per seed). Runs then holds each seed's piconet-0 result (so
+	// every CI method keeps answering for the classic campaign view) and
+	// Scatternets the full per-seed results for the per-piconet and
+	// bridge-coupling CIs.
+	Piconets int
+	Bridges  int
+	HoldTime sim.Time
+}
+
+// Scatternet reports whether the sweep runs scatternet campaigns (any
+// explicit topology engages the scatternet path, so a 1-piconet request
+// still populates Scatternets and the per-piconet CIs).
+func (c SweepConfig) Scatternet() bool { return c.Piconets > 0 || c.Bridges > 0 }
+
+// scatternetConfig builds seed i's scatternet campaign config.
+func (c SweepConfig) scatternetConfig(i int) ScatternetConfig {
+	return ScatternetConfig{
+		CampaignConfig: CampaignConfig{
+			Seed:       c.BaseSeed + uint64(i),
+			Duration:   c.Duration,
+			Scenario:   c.Scenario,
+			Streaming:  !c.Retained,
+			FlushEvery: c.FlushEvery,
+		},
+		Piconets: c.Piconets,
+		Bridges:  c.Bridges,
+		HoldTime: c.HoldTime,
+	}
 }
 
 // Validate reports configuration errors.
@@ -44,15 +77,22 @@ func (c SweepConfig) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("btpan: negative sweep worker count")
 	}
+	if c.Scatternet() {
+		return c.scatternetConfig(0).Validate()
+	}
 	probe := CampaignConfig{Seed: c.BaseSeed, Duration: c.Duration,
 		Scenario: c.Scenario, FlushEvery: c.FlushEvery}
 	return probe.Validate()
 }
 
-// SweepResult holds the per-seed campaigns, in seed order.
+// SweepResult holds the per-seed campaigns, in seed order. In scatternet
+// sweeps Runs holds each seed's piconet-0 result and Scatternets the full
+// topology results.
 type SweepResult struct {
 	Config SweepConfig
 	Runs   []*CampaignResult
+	// Scatternets is non-nil only for scatternet sweeps (Config.Scatternet).
+	Scatternets []*ScatternetResult
 }
 
 // Sweep runs the multi-seed campaign sweep. Results are deterministic for a
@@ -73,6 +113,10 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 		workers = cfg.Seeds
 	}
 	runs := make([]*CampaignResult, cfg.Seeds)
+	var scatternets []*ScatternetResult
+	if cfg.Scatternet() {
+		scatternets = make([]*ScatternetResult, cfg.Seeds)
+	}
 	errs := make([]error, cfg.Seeds)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -81,6 +125,15 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if cfg.Scatternet() {
+					var res *ScatternetResult
+					res, errs[i] = RunScatternet(cfg.scatternetConfig(i))
+					if errs[i] == nil {
+						scatternets[i] = res
+						runs[i] = res.Piconets[0]
+					}
+					continue
+				}
 				runs[i], errs[i] = RunCampaign(CampaignConfig{
 					Seed:       cfg.BaseSeed + uint64(i),
 					Duration:   cfg.Duration,
@@ -101,7 +154,7 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 			return nil, err
 		}
 	}
-	return &SweepResult{Config: cfg, Runs: runs}, nil
+	return &SweepResult{Config: cfg, Runs: runs, Scatternets: scatternets}, nil
 }
 
 // Table2CI summarizes the sweep's error-failure relationship tables.
@@ -139,6 +192,44 @@ func (s *SweepResult) ScalarsCI() *analysis.ScalarsCI {
 		all[i] = r.Scalars()
 	}
 	return analysis.BuildScalarsCI(all)
+}
+
+// PiconetDependabilityCI summarizes piconet p's Table 4 column over the
+// seeds of a scatternet sweep (nil when the sweep was not a scatternet or p
+// is out of range).
+func (s *SweepResult) PiconetDependabilityCI(p int) *analysis.DependabilityCI {
+	if s.Scatternets == nil {
+		return nil
+	}
+	cols := make([]*analysis.Dependability, 0, len(s.Scatternets))
+	for _, r := range s.Scatternets {
+		if p < 0 || p >= len(r.Piconets) {
+			return nil
+		}
+		cols = append(cols, r.Piconets[p].Dependability())
+	}
+	return analysis.BuildDependabilityCI(cols)
+}
+
+// CorrelatedOutagesCI estimates the per-seed count of correlated
+// piconet-level outages bridge failures caused (zero estimate when the
+// sweep was not a scatternet).
+func (s *SweepResult) CorrelatedOutagesCI() stats.Estimate {
+	xs := make([]float64, 0, len(s.Scatternets))
+	for _, r := range s.Scatternets {
+		xs = append(xs, float64(r.Bridges.CorrelatedOutages()))
+	}
+	return stats.CI95(xs)
+}
+
+// BridgeDowntimeCI estimates the per-seed total bridge downtime in seconds
+// (zero estimate when the sweep was not a scatternet).
+func (s *SweepResult) BridgeDowntimeCI() stats.Estimate {
+	xs := make([]float64, 0, len(s.Scatternets))
+	for _, r := range s.Scatternets {
+		xs = append(xs, r.Bridges.TotalDowntimeSeconds())
+	}
+	return stats.CI95(xs)
 }
 
 // SweepTable4 runs one sweep per recovery scenario (same seeds and
