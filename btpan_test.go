@@ -35,12 +35,18 @@ var (
 )
 
 // testCampaign runs one small shared campaign for the facade tests. The
-// result is cached: tests only read from it.
+// result is cached: tests only read from it. -short (the CI race job)
+// shrinks the observation window; every assertion on the result is
+// qualitative, so it holds on the shorter campaign too.
 func testCampaign(t *testing.T) *CampaignResult {
 	t.Helper()
 	testCampaignOnce.Do(func() {
+		dur := 36 * Hour
+		if testing.Short() {
+			dur = 12 * Hour
+		}
 		testCampaignRes, testCampaignErr = RunCampaign(CampaignConfig{
-			Seed: 5, Duration: 36 * Hour, Scenario: ScenarioSIRAs,
+			Seed: 5, Duration: dur, Scenario: ScenarioSIRAs,
 		})
 	})
 	if testCampaignErr != nil {
@@ -217,7 +223,11 @@ func TestFig4BindFailuresOnlyOnDefectHosts(t *testing.T) {
 }
 
 func TestFixedExperiment(t *testing.T) {
-	res, err := RunFixedExperiment(FixedExperimentConfig{Seed: 5, Duration: 4 * Day})
+	dur := 4 * Day
+	if testing.Short() {
+		dur = Day
+	}
+	res, err := RunFixedExperiment(FixedExperimentConfig{Seed: 5, Duration: dur})
 	if err != nil {
 		t.Fatal(err)
 	}

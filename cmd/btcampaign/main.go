@@ -15,12 +15,18 @@
 // reports every table as mean ± 95 % confidence interval over the seeds.
 //
 // Scatternet mode (-scatternet) composes -piconets full piconet campaigns
-// with -bridges bridge nodes that time-share membership across piconets on
-// a -hold second residency schedule, relaying inter-piconet traffic through
-// the real stack path. It prints per-piconet tables plus the
-// bridge-attributed failure-coupling table; piconet tables aggregate in
-// O(1) memory with -stream exactly like single-piconet campaigns (the
-// repository shipping path is single-piconet only).
+// with bridge nodes that time-share membership across piconets on a -hold
+// second residency schedule, relaying inter-piconet traffic through the
+// real stack path. The bridge→piconet membership map comes from -topology
+// (ring, star, mesh, or a seeded random connected graph; the default keeps
+// the legacy ring pairing of -bridges bridges), and -redundancy K deploys K
+// bridges per span, charging a correlated outage only while all K are down.
+// It prints per-piconet tables plus the bridge-attributed failure-coupling
+// table, the delay-vs-relay-depth table from the multi-hop probe plane, and
+// the redundancy table (measured all-down time against the independent
+// 1-out-of-K model); piconet tables aggregate in O(1) memory with -stream
+// exactly like single-piconet campaigns (the repository shipping path is
+// single-piconet only).
 //
 // Usage:
 //
@@ -41,8 +47,14 @@
 //	-workers W       sweep worker pool size; 0 means NumCPU/2
 //	-scatternet      run a multi-piconet scatternet campaign
 //	-piconets P      scatternet piconet count (default 2)
-//	-bridges K       scatternet bridge count; bridge b serves the piconet
-//	                 ring pair (b mod P, b+1 mod P) (default 1)
+//	-bridges K       scatternet bridge count for the legacy ring pairing
+//	                 (bridge b serves b mod P, b+1 mod P) and the random
+//	                 topology's edge budget; ring/star/mesh topologies
+//	                 dictate their own bridge count (default 1)
+//	-topology T      membership map: ring, star, mesh or random; empty
+//	                 keeps the legacy -bridges ring pairing (default "")
+//	-redundancy K    bridges per span; K >= 2 forms redundancy groups whose
+//	                 correlated outage needs all K down at once (default 1)
 //	-hold S          bridge residency seconds per piconet visit (default 10)
 package main
 
@@ -73,7 +85,9 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = NumCPU/2)")
 	scat := flag.Bool("scatternet", false, "run a multi-piconet scatternet campaign")
 	piconets := flag.Int("piconets", 2, "scatternet piconet count (with -scatternet)")
-	bridges := flag.Int("bridges", 1, "scatternet bridge count (with -scatternet)")
+	bridges := flag.Int("bridges", 1, "scatternet bridge count: legacy ring pairing / random edge budget (with -scatternet)")
+	topology := flag.String("topology", "", "scatternet membership map: ring, star, mesh or random (empty = legacy -bridges ring)")
+	redundancy := flag.Int("redundancy", 1, "bridges per span; >= 2 forms redundancy groups (with -scatternet)")
 	hold := flag.Int("hold", 10, "bridge residency seconds per piconet visit (with -scatternet)")
 	flag.Parse()
 
@@ -88,13 +102,13 @@ func main() {
 	holdTime := sim.Time(*hold) * sim.Second
 
 	if *scat {
+		topo := scatTopology{piconets: *piconets, bridges: *bridges,
+			name: *topology, redundancy: *redundancy, hold: holdTime}
 		if *seeds > 1 {
-			runScatternetSweep(*seed, *seeds, duration, btpan.Scenario(*scenario),
-				*workers, *piconets, *bridges, holdTime)
+			runScatternetSweep(*seed, *seeds, duration, btpan.Scenario(*scenario), *workers, topo)
 			return
 		}
-		runScatternet(*seed, duration, btpan.Scenario(*scenario),
-			*piconets, *bridges, holdTime, *stream)
+		runScatternet(*seed, duration, btpan.Scenario(*scenario), topo, *stream)
 		return
 	}
 
@@ -142,17 +156,38 @@ func mode(stream bool) string {
 	return "retained records"
 }
 
+// scatTopology bundles the CLI's scatternet topology knobs.
+type scatTopology struct {
+	piconets, bridges, redundancy int
+	name                          string
+	hold                          sim.Time
+}
+
+// describe renders the topology knobs for campaign banners.
+func (t scatTopology) describe() string {
+	name := t.name
+	if name == "" {
+		name = fmt.Sprintf("legacy ring, %d bridge(s)", t.bridges)
+	}
+	if t.redundancy > 1 {
+		name += fmt.Sprintf(", %d-redundant", t.redundancy)
+	}
+	return fmt.Sprintf("%d piconets, %s topology", t.piconets, name)
+}
+
 // runScatternet runs one scatternet campaign and prints the per-piconet
-// tables plus the bridge-attributed failure-coupling table.
+// tables plus the bridge-attributed coupling, relay-depth and redundancy
+// tables.
 func runScatternet(seed uint64, duration sim.Time, scenario btpan.Scenario,
-	piconets, bridges int, hold sim.Time, stream bool) {
-	fmt.Printf("running %v scatternet campaign (%d piconets, %d bridges, hold %v, scenario %q, seed %d, %s)...\n",
-		duration, piconets, bridges, hold, scenario, seed, mode(stream))
+	topo scatTopology, stream bool) {
+	fmt.Printf("running %v scatternet campaign (%s, hold %v, scenario %q, seed %d, %s)...\n",
+		duration, topo.describe(), topo.hold, scenario, seed, mode(stream))
 	res, err := btpan.RunScatternet(btpan.ScatternetConfig{
 		CampaignConfig: btpan.CampaignConfig{
 			Seed: seed, Duration: duration, Scenario: scenario, Streaming: stream,
 		},
-		Piconets: piconets, Bridges: bridges, HoldTime: hold,
+		Piconets: topo.piconets, Bridges: topo.bridges,
+		Topology: topo.name, Redundancy: topo.redundancy, HoldTime: topo.hold,
 	})
 	if err != nil {
 		fatal(err)
@@ -162,32 +197,39 @@ func runScatternet(seed uint64, duration sim.Time, scenario btpan.Scenario,
 		fmt.Printf("\nPiconet %d — Table 2 (error-failure relationship)\n%s", p, pic.Table2().Render())
 		fmt.Printf("Piconet %d — Table 3 (SIRA effectiveness)\n%s", p, pic.Table3().Render())
 	}
-	if bridges > 0 {
+	if res.Topology.Bridges() > 0 {
 		fmt.Printf("\nBridge-attributed coupling\n%s", res.Bridges.Render())
+		fmt.Printf("\nRelay delay vs depth (store-and-forward probes)\n%s", res.RelayDepth.Render())
+		fmt.Printf("\nRedundancy groups (outage charged only when a whole span is down)\n%s",
+			res.Redundancy.Render())
 		fmt.Printf("\n%d bridge outages propagated as %d correlated piconet-level service interruptions (%.1f s total downtime)\n",
 			res.Bridges.TotalOutages(), res.Bridges.CorrelatedOutages(), res.Bridges.TotalDowntimeSeconds())
 	}
 }
 
 // runScatternetSweep sweeps scatternet campaigns over seeds and prints the
-// piconet-0 tables with CIs plus the coupling estimates.
+// piconet tables with CIs plus the coupling, relay-depth and redundancy
+// estimates.
 func runScatternetSweep(baseSeed uint64, seeds int, duration sim.Time,
-	scenario btpan.Scenario, workers, piconets, bridges int, hold sim.Time) {
-	fmt.Printf("sweeping %d seeds x %v scatternet (%d piconets, %d bridges, scenario %q, %d workers)...\n",
-		seeds, duration, piconets, bridges, scenario, workers)
+	scenario btpan.Scenario, workers int, topo scatTopology) {
+	fmt.Printf("sweeping %d seeds x %v scatternet (%s, scenario %q, %d workers)...\n",
+		seeds, duration, topo.describe(), scenario, workers)
 	start := time.Now()
 	res, err := btpan.Sweep(btpan.SweepConfig{
 		BaseSeed: baseSeed, Seeds: seeds, Duration: duration, Scenario: scenario,
-		Workers: workers, Piconets: piconets, Bridges: bridges, HoldTime: hold,
+		Workers: workers, Piconets: topo.piconets, Bridges: topo.bridges,
+		Topology: topo.name, Redundancy: topo.redundancy, HoldTime: topo.hold,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("sweep finished in %v\n\n", time.Since(start).Round(time.Millisecond))
-	for p := 0; p < piconets; p++ {
+	for p := 0; p < len(res.Scatternets[0].Piconets); p++ {
 		fmt.Printf("Piconet %d dependability (mean ± 95%% CI)\n%s\n",
 			p, res.PiconetDependabilityCI(p).Render())
 	}
+	fmt.Printf("Relay delay vs depth (mean ± 95%% CI per seed)\n%s\n", res.RelayDepthCI().Render())
+	fmt.Printf("Redundancy (mean ± 95%% CI per seed)\n%s\n", res.RedundancyCI().Render())
 	fmt.Printf("correlated piconet outages per seed: %s\n", res.CorrelatedOutagesCI().Format("%.1f"))
 	fmt.Printf("bridge downtime per seed (s):        %s\n", res.BridgeDowntimeCI().Format("%.1f"))
 }

@@ -1,11 +1,14 @@
 // Scatternet: compose the paper's piconet campaigns into a bridged
 // multi-piconet topology and measure what single-piconet studies cannot —
-// the failure coupling that bridge nodes introduce. Three piconets are
-// connected in a ring by two bridges that time-share membership on a
-// hold-time schedule and relay inter-piconet traffic through the real
-// HCI → L2CAP → BNEP → PAN path; every bridge failure (from the same
-// device/recovery processes as any testbed node) takes the inter-piconet
-// service of both piconets it serves down with it.
+// the failure coupling that bridge nodes introduce, how store-and-forward
+// delay grows with relay depth, and what bridge redundancy buys back. Four
+// piconets hang off a star topology (every inter-spoke route relays through
+// two bridges) with two bridges per span (-redundancy 2 in btcampaign
+// terms): bridges time-share membership on a hold-time schedule, relay
+// inter-piconet traffic through the real HCI → L2CAP → BNEP → PAN path, and
+// fail through the same device/recovery processes as any testbed node — but
+// a span's inter-piconet service only counts as down while BOTH its bridges
+// are down at once.
 //
 // Usage: scatternet [-days D]
 package main
@@ -32,12 +35,13 @@ func main() {
 			// no matter how long the campaign runs.
 			Streaming: true,
 		},
-		Piconets: 3,
-		Bridges:  2,
-		HoldTime: 30 * sim.Second,
+		Piconets:   4,
+		Topology:   btpan.TopologyStar,
+		Redundancy: 2,
+		HoldTime:   30 * sim.Second,
 	}
-	fmt.Printf("%d virtual day(s), %d piconets (2 testbeds each), %d bridges, %v hold time...\n\n",
-		*days, cfg.Piconets, cfg.Bridges, cfg.HoldTime)
+	fmt.Printf("%d virtual day(s), %d piconets (2 testbeds each), star topology, %d bridges (2 per span), %v hold time...\n\n",
+		*days, cfg.Piconets, 2*(cfg.Piconets-1), cfg.HoldTime)
 	res, err := btpan.RunScatternet(cfg)
 	if err != nil {
 		panic(err)
@@ -48,9 +52,15 @@ func main() {
 
 	fmt.Printf("bridge-attributed coupling:\n%s\n", res.Bridges.Render())
 
-	fmt.Printf("lesson: %d bridge failures became %d correlated piconet-level outages\n",
-		res.Bridges.TotalOutages(), res.Bridges.CorrelatedOutages())
-	fmt.Printf("(%.0f s of inter-piconet downtime) — in a scatternet, a bridge is a\n",
-		res.Bridges.TotalDowntimeSeconds())
-	fmt.Println("shared failure domain: harden bridges first, or span piconets redundantly.")
+	fmt.Printf("relay delay vs depth (hub routes are 1 hop, spoke-to-spoke 2):\n%s\n",
+		res.RelayDepth.Render())
+
+	fmt.Printf("redundancy groups (all-down vs the independent 1-of-2 model):\n%s\n",
+		res.Redundancy.Render())
+
+	fmt.Printf("lesson: %d bridge failures, but only %d all-down span outages (%.0f s)\n",
+		res.Redundancy.MemberOutages(), res.Redundancy.AllDownEpisodes(),
+		res.Redundancy.AllDownSeconds())
+	fmt.Println("— spanning each piconet pair twice turns a shared failure domain into a")
+	fmt.Println("redundant one, exactly the paper's closing recommendation, now measured.")
 }

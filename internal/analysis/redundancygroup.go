@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// The redundancy-group view: the paper's closing recommendation is redundant
+// overlapped piconets, and RedundantDeployment models the 1-out-of-2 case
+// analytically from two piconets' dependability columns. When a scatternet
+// deploys K bridges over the same piconet span (Topology.WithRedundancy),
+// the simulation measures that recommendation directly: the span's
+// inter-piconet service is down only while ALL K bridges are down at once,
+// and the measured all-down time is compared head to head against the
+// independence model (and, for K = 2, against RedundantDeployment itself).
+
+// RedundancyGroup is one span's measured redundancy outcome: K bridges
+// serving the same piconet set, with per-member and all-down accounting.
+type RedundancyGroup struct {
+	// Span lists the piconets the group's bridges serve.
+	Span []int
+	// Bridges names the member bridges.
+	Bridges []string
+	// K is the group size (len(Bridges)).
+	K int
+	// MemberOutages counts the member bridges' individual failure episodes.
+	MemberOutages int
+	// MemberDownSeconds is each member's accumulated down time, aligned with
+	// Bridges and clamped to the campaign horizon.
+	MemberDownSeconds []float64
+	// AllDownEpisodes counts the windows in which every member was down at
+	// once — the only windows a K-redundant span charges as correlated
+	// outages.
+	AllDownEpisodes int
+	// AllDownSeconds is the accumulated all-down time.
+	AllDownSeconds float64
+	// DurationSeconds is the campaign horizon the group was observed over.
+	DurationSeconds float64
+}
+
+// MeasuredUnavailability reports the span's observed unavailability: the
+// fraction of the campaign every member was down simultaneously.
+func (g *RedundancyGroup) MeasuredUnavailability() float64 {
+	if g.DurationSeconds <= 0 {
+		return 0
+	}
+	return g.AllDownSeconds / g.DurationSeconds
+}
+
+// PredictedUnavailability reports the independence model's prediction: the
+// product of the members' individual unavailability fractions — what the
+// 1-out-of-K generalization of RedundantDeployment expects when member
+// failures are uncorrelated.
+func (g *RedundancyGroup) PredictedUnavailability() float64 {
+	if g.DurationSeconds <= 0 {
+		return 0
+	}
+	u := 1.0
+	for _, d := range g.MemberDownSeconds {
+		f := d / g.DurationSeconds
+		if f > 1 {
+			f = 1
+		}
+		u *= f
+	}
+	return u
+}
+
+// memberDependability derives member i's pseudo-dependability column from
+// its outage count and down time, the inputs RedundantDeployment expects.
+func (g *RedundancyGroup) memberDependability(i int) *Dependability {
+	d := &Dependability{Availability: 1}
+	if g.DurationSeconds <= 0 || i >= len(g.MemberDownSeconds) {
+		return d
+	}
+	down := g.MemberDownSeconds[i]
+	d.Availability = 1 - down/g.DurationSeconds
+	// Outage episodes are tracked per group, not per member; attribute them
+	// evenly — the deployment model only consumes the MTTF/MTTR ratio.
+	episodes := float64(g.MemberOutages) / float64(g.K)
+	if episodes > 0 {
+		d.MTTR = down / episodes
+		d.MTTF = (g.DurationSeconds - down) / episodes
+	} else {
+		d.MTTF = g.DurationSeconds
+	}
+	return d
+}
+
+// Model1of2 builds the analytical RedundantDeployment for a K = 2 group from
+// its members' measured outage statistics (nil for other K): the head-to-head
+// baseline the measured all-down time is compared against.
+func (g *RedundancyGroup) Model1of2() *RedundantDeployment {
+	if g.K != 2 {
+		return nil
+	}
+	return &RedundantDeployment{
+		A: g.memberDependability(0),
+		B: g.memberDependability(1),
+	}
+}
+
+// RedundancyTable is the per-span redundancy aggregate of a scatternet
+// campaign: one row per redundancy group (bridges with an identical span).
+type RedundancyTable struct {
+	Rows []*RedundancyGroup
+}
+
+// AllDownEpisodes sums the groups' all-down outage episodes.
+func (t *RedundancyTable) AllDownEpisodes() int {
+	n := 0
+	for _, g := range t.Rows {
+		n += g.AllDownEpisodes
+	}
+	return n
+}
+
+// AllDownSeconds sums the groups' all-down time.
+func (t *RedundancyTable) AllDownSeconds() float64 {
+	s := 0.0
+	for _, g := range t.Rows {
+		s += g.AllDownSeconds
+	}
+	return s
+}
+
+// MemberOutages sums the groups' individual member failure episodes.
+func (t *RedundancyTable) MemberOutages() int {
+	n := 0
+	for _, g := range t.Rows {
+		n += g.MemberOutages
+	}
+	return n
+}
+
+// Render formats the redundancy table: measured all-down outcome per span
+// against the independence model, plus the RedundantDeployment 1-of-2
+// availability for K = 2 groups.
+func (t *RedundancyTable) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %3s %10s %12s %12s %12s %12s %12s\n",
+		"span", "K", "outages", "all-down", "all-down (s)", "meas unav", "pred unav", "1-of-2 avail")
+	for _, g := range t.Rows {
+		span := make([]string, len(g.Span))
+		for i, p := range g.Span {
+			span[i] = fmt.Sprint(p)
+		}
+		model := "-"
+		if m := g.Model1of2(); m != nil {
+			model = fmt.Sprintf("%.6f", m.Availability())
+		}
+		fmt.Fprintf(&b, "%-10s %3d %10d %12d %12.1f %12.6f %12.6f %12s\n",
+			strings.Join(span, ","), g.K, g.MemberOutages, g.AllDownEpisodes,
+			g.AllDownSeconds, g.MeasuredUnavailability(), g.PredictedUnavailability(), model)
+	}
+	return b.String()
+}
+
+// RedundancyCI summarizes a scatternet sweep's redundancy outcomes: per-seed
+// totals as mean ± 95 % CI.
+type RedundancyCI struct {
+	// Seeds is the number of campaigns summarized.
+	Seeds int
+	// MemberOutages estimates the per-seed individual bridge failure count.
+	MemberOutages stats.Estimate
+	// AllDownEpisodes estimates the per-seed count of windows where a whole
+	// redundancy group was down at once.
+	AllDownEpisodes stats.Estimate
+	// AllDownSeconds estimates the per-seed all-down time.
+	AllDownSeconds stats.Estimate
+}
+
+// BuildRedundancyCI summarizes per-seed redundancy tables.
+func BuildRedundancyCI(tables []*RedundancyTable) *RedundancyCI {
+	ci := &RedundancyCI{Seeds: len(tables)}
+	var members, episodes, seconds []float64
+	for _, t := range tables {
+		members = append(members, float64(t.MemberOutages()))
+		episodes = append(episodes, float64(t.AllDownEpisodes()))
+		seconds = append(seconds, t.AllDownSeconds())
+	}
+	ci.MemberOutages = stats.CI95(members)
+	ci.AllDownEpisodes = stats.CI95(episodes)
+	ci.AllDownSeconds = stats.CI95(seconds)
+	return ci
+}
+
+// Render formats the sweep-level redundancy summary.
+func (ci *RedundancyCI) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bridge outages per seed:      %s\n", ci.MemberOutages.Format("%.1f"))
+	fmt.Fprintf(&b, "all-down episodes per seed:   %s\n", ci.AllDownEpisodes.Format("%.1f"))
+	fmt.Fprintf(&b, "all-down seconds per seed:    %s\n", ci.AllDownSeconds.Format("%.1f"))
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package collector
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// FuzzDecode throws arbitrary byte streams at the frame reader — the exact
+// surface a hostile or corrupted peer reaches over TCP. The decoder must
+// never panic, never hang, and never allocate absurdly off a garbage length
+// field; and whatever it does accept must re-encode and re-decode to the
+// same records (the round-trip law that keeps the streaming repository's
+// fold exact).
+//
+// The seed corpus is real frames: the full-field batch of the codec suite,
+// a minimal empty batch, and a watermark-only heartbeat, each in both wire
+// codecs, plus truncations and tag corruptions of them.
+func FuzzDecode(f *testing.F) {
+	seeds := []*Batch{
+		fullBatch(),
+		{Node: "n", Testbed: "t"},
+		{Node: "Verde", Testbed: "random", Watermark: 3 * sim.Hour, Seq: 9},
+		{Node: "W", Testbed: "realistic", Seq: 1, Entries: []core.SystemEntry{
+			{At: -5, Node: "W", Source: core.SrcHCI, Code: core.CodeHCICommandTimeout, Detail: ""},
+		}},
+	}
+	for _, b := range seeds {
+		for _, codec := range []Codec{CodecBinary, CodecJSON} {
+			var buf bytes.Buffer
+			if err := WriteBatchCodec(&buf, b, codec); err != nil {
+				f.Fatal(err)
+			}
+			frame := buf.Bytes()
+			f.Add(frame)
+			// Truncated and tag-corrupted variants steer the fuzzer into
+			// the decoder's error paths from the first generation on.
+			f.Add(frame[:len(frame)/2])
+			mangled := append([]byte(nil), frame...)
+			mangled[4] ^= 0xFF
+			f.Add(mangled)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := ReadBatch(bytes.NewReader(data))
+		if err != nil {
+			return // rejected garbage is the expected outcome
+		}
+		// Accepted frames must satisfy the round-trip law under the
+		// canonical binary codec.
+		var buf bytes.Buffer
+		if err := WriteBatchCodec(&buf, b, CodecBinary); err != nil {
+			t.Fatalf("re-encode of accepted batch failed: %v", err)
+		}
+		again, err := ReadBatch(&buf)
+		if err != nil {
+			t.Fatalf("re-decode of accepted batch failed: %v", err)
+		}
+		if !batchEqual(b, again) {
+			t.Fatalf("round-trip changed the batch:\nfirst  %+v\nsecond %+v", b, again)
+		}
+	})
+}
+
+// batchEqual compares decoded batches, treating empty and nil record slices
+// as equal (the JSON codec's omitempty drops empty slices, the binary codec
+// never materializes them).
+func batchEqual(a, b *Batch) bool {
+	if a.Node != b.Node || a.Testbed != b.Testbed ||
+		a.Watermark != b.Watermark || a.Seq != b.Seq {
+		return false
+	}
+	if len(a.Reports) != len(b.Reports) || len(a.Entries) != len(b.Entries) {
+		return false
+	}
+	for i := range a.Reports {
+		if a.Reports[i] != b.Reports[i] {
+			return false
+		}
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFuzzSeedCorpusRoundTrips runs the fuzz body over the seed corpus
+// directly, so the round-trip law is enforced on every `go test` run even
+// without -fuzz.
+func TestFuzzSeedCorpusRoundTrips(t *testing.T) {
+	for _, codec := range []Codec{CodecBinary, CodecJSON} {
+		var buf bytes.Buffer
+		in := fullBatch()
+		if err := WriteBatchCodec(&buf, in, codec); err != nil {
+			t.Fatal(err)
+		}
+		out, err := ReadBatch(&buf)
+		if err != nil {
+			t.Fatalf("%v decode: %v", codec, err)
+		}
+		if !batchEqual(in, out) {
+			t.Errorf("%v: decoded batch diverges from input", codec)
+		}
+		if !reflect.DeepEqual(in.Reports, out.Reports) || !reflect.DeepEqual(in.Entries, out.Entries) {
+			t.Errorf("%v: record slices diverge", codec)
+		}
+	}
+	// The reader must also cleanly reject an empty stream and a bare header.
+	if _, err := ReadBatch(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+	if _, err := ReadBatch(bytes.NewReader([]byte{0, 0, 0})); err == nil {
+		t.Error("3-byte stream decoded without error")
+	}
+}

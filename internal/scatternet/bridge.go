@@ -28,14 +28,18 @@ type overlay struct {
 	world   *sim.World
 	naps    []*stack.Host
 	bridges []*bridge
+	groups  []*redundancyGroup
+	prober  *prober
 	connID  uint64
 }
 
-// newOverlay builds the overlay world for the configured topology.
-func newOverlay(cfg Config) *overlay {
+// newOverlay builds the overlay world for the given membership map: the NAP
+// anchors, the bridge hosts, the redundancy-group trackers, and the
+// multi-hop relay probe plane.
+func newOverlay(cfg Config, topo Topology) *overlay {
 	o := &overlay{world: sim.NewWorld(cfg.Seed ^ overlaySeedSalt)}
 	napSpec := device.NAP()
-	for p := 0; p < cfg.Piconets; p++ {
+	for p := 0; p < topo.Piconets; p++ {
 		spec := napSpec
 		spec.Name = fmt.Sprintf("nap%d", p)
 		// Anchor system errors are the piconet side's noise; the bridge
@@ -44,19 +48,32 @@ func newOverlay(cfg Config) *overlay {
 			func(core.ErrorCode, string) {}))
 	}
 	panus := device.PANUs()
-	for i := 0; i < cfg.Bridges; i++ {
+	for i, members := range topo.Members {
 		spec := panus[i%len(panus)]
-		serves := []int{i % cfg.Piconets, (i + 1) % cfg.Piconets}
-		o.bridges = append(o.bridges, newBridge(cfg, o, i, spec, serves))
+		o.bridges = append(o.bridges, newBridge(cfg, o, i, spec, members))
 	}
+	for _, group := range topo.RedundancyGroups() {
+		names := make([]string, len(group))
+		for i, b := range group {
+			names[i] = o.bridges[b].name
+		}
+		g := newRedundancyGroup(topo.Members[group[0]], names)
+		for i, b := range group {
+			o.bridges[b].group, o.bridges[b].groupIdx = g, i
+		}
+		o.groups = append(o.groups, g)
+	}
+	o.prober = newProber(cfg, o, topo)
 	return o
 }
 
-// Run starts every bridge and advances the overlay world to the horizon.
+// Run starts every bridge and the probe plane, then advances the overlay
+// world to the horizon.
 func (o *overlay) Run(duration sim.Time) {
 	for _, b := range o.bridges {
 		b.start()
 	}
+	o.prober.start()
 	o.world.RunUntil(duration)
 }
 
@@ -65,6 +82,16 @@ func (o *overlay) Table() *analysis.BridgeTable {
 	t := &analysis.BridgeTable{}
 	for _, b := range o.bridges {
 		t.Rows = append(t.Rows, b.acc)
+	}
+	return t
+}
+
+// RedundancyTable closes every group's open windows at the horizon and
+// gathers the per-span redundancy aggregate.
+func (o *overlay) RedundancyTable(duration sim.Time) *analysis.RedundancyTable {
+	t := &analysis.RedundancyTable{}
+	for _, g := range o.groups {
+		t.Rows = append(t.Rows, g.closeAt(duration))
 	}
 	return t
 }
@@ -105,11 +132,17 @@ type bridge struct {
 
 	resident  int
 	attached  bool
+	down      bool
 	conn      *pan.Conn
 	pipe      *stack.Pipe
 	downUntil sim.Time
 	busyUntil sim.Time
 	queues    [][]relaySDU
+
+	// group is the bridge's redundancy group (bridges spanning the same
+	// piconet set); groupIdx is its member slot in it.
+	group    *redundancyGroup
+	groupIdx int
 
 	fnHop, fnDrain, fnRejoin func()
 	fnArrive                 []func()
@@ -127,7 +160,7 @@ func newBridge(cfg Config, o *overlay, i int, spec device.Spec, serves []int) *b
 		cfg:    cfg,
 		world:  o.world,
 		rng:    o.world.RNG("bridge." + name),
-		serves: serves,
+		serves: append([]int(nil), serves...),
 		acc:    analysis.NewBridgeAccum(name, spec.Name, serves),
 		queues: make([][]relaySDU, len(serves)),
 	}
@@ -211,9 +244,18 @@ func (b *bridge) hop() {
 }
 
 // rejoin attaches the bridge to the schedule-dictated piconet outside the
-// boundary rotation: at campaign start and when an outage ends mid-slot.
+// boundary rotation: at campaign start and when an outage ends mid-slot. It
+// also closes the bridge's redundancy-group outage window — rejoin is
+// scheduled at every outage's end, so the window closes exactly on time even
+// when a same-instant hop re-attaches the bridge first.
 func (b *bridge) rejoin() {
 	now := b.world.Now()
+	if b.down && now >= b.downUntil {
+		b.down = false
+		if b.group != nil {
+			b.group.memberUp(b.groupIdx, now)
+		}
+	}
 	if b.attached || now < b.downUntil {
 		return
 	}
@@ -334,5 +376,11 @@ func (b *bridge) fail(f core.UserFailure) {
 	out := b.cascade.RunWithDepth(b.cfg.Scenario, depth)
 	b.downUntil = b.world.Now() + out.TTR
 	b.acc.AddOutage(f, out.TTR.Seconds())
+	if !b.down {
+		b.down = true
+		if b.group != nil {
+			b.group.memberDown(b.groupIdx, b.world.Now())
+		}
+	}
 	b.world.At(b.downUntil, b.fnRejoin)
 }

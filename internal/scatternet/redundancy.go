@@ -1,0 +1,78 @@
+package scatternet
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/sim"
+)
+
+// redundancyGroup tracks one span's K bridges live: which members are down,
+// since when, and the windows in which all of them were down at once — the
+// only windows a K-redundant span charges as correlated outages. Bridges
+// notify it on their down/up transitions (bridge.fail / bridge.rejoin); the
+// group keeps O(K) state, so redundancy accounting is streaming-compatible
+// like every other scatternet aggregate.
+type redundancyGroup struct {
+	row *analysis.RedundancyGroup
+	// downSince[i] is member i's current outage start (negative when up).
+	downSince    []sim.Time
+	downCount    int
+	allDownSince sim.Time
+}
+
+// newRedundancyGroup allocates the tracker for K bridges spanning span.
+func newRedundancyGroup(span []int, names []string) *redundancyGroup {
+	g := &redundancyGroup{
+		row: &analysis.RedundancyGroup{
+			Span:              append([]int(nil), span...),
+			Bridges:           append([]string(nil), names...),
+			K:                 len(names),
+			MemberDownSeconds: make([]float64, len(names)),
+		},
+		downSince: make([]sim.Time, len(names)),
+	}
+	for i := range g.downSince {
+		g.downSince[i] = -1
+	}
+	return g
+}
+
+// memberDown opens member i's outage window at instant t. When it is the
+// last member standing, the whole span's all-down window opens with it.
+func (g *redundancyGroup) memberDown(i int, t sim.Time) {
+	if g.downSince[i] >= 0 {
+		return
+	}
+	g.downSince[i] = t
+	g.downCount++
+	g.row.MemberOutages++
+	if g.downCount == len(g.downSince) {
+		g.allDownSince = t
+		g.row.AllDownEpisodes++
+	}
+}
+
+// memberUp closes member i's outage window at instant t; if the span was
+// all-down, the correlated window closes with it.
+func (g *redundancyGroup) memberUp(i int, t sim.Time) {
+	if g.downSince[i] < 0 {
+		return
+	}
+	if g.downCount == len(g.downSince) {
+		g.row.AllDownSeconds += (t - g.allDownSince).Seconds()
+	}
+	g.row.MemberDownSeconds[i] += (t - g.downSince[i]).Seconds()
+	g.downSince[i] = -1
+	g.downCount--
+}
+
+// closeAt clamps every open window to the campaign horizon and returns the
+// finished analysis row.
+func (g *redundancyGroup) closeAt(horizon sim.Time) *analysis.RedundancyGroup {
+	for i, since := range g.downSince {
+		if since >= 0 {
+			g.memberUp(i, horizon)
+		}
+	}
+	g.row.DurationSeconds = horizon.Seconds()
+	return g.row
+}

@@ -1,0 +1,131 @@
+package scatternet
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/analysis"
+	"repro/internal/sim"
+)
+
+// relayAirRateBps is the nominal asymmetric DH5 payload rate used to model a
+// relayed SDU's transmission time on the probe plane (723.2 kbps — the
+// classic Bluetooth 1.x asymmetric maximum). The probe plane measures
+// residency and outage waits, which dominate by orders of magnitude; a
+// deterministic airtime keeps the probes free of RNG draws that could
+// perturb the data plane's streams.
+const relayAirRateBps = 723_200
+
+// relayAirTime models the transmission time of one relayed SDU.
+func relayAirTime(bytes int) sim.Time {
+	return sim.Time(float64(bytes) * 8 / relayAirRateBps * float64(sim.Second))
+}
+
+// prober is the multi-hop relay measurement plane: for every ordered piconet
+// pair it offers probe SDUs on an exponential arrival process, walks the
+// topology's minimum-hop route, and accounts the end-to-end store-and-forward
+// delay by relay depth. The walk is analytic — it reads the bridges' current
+// outage state and their deterministic residency schedules without touching
+// any bridge or piconet state — so enabling probes cannot perturb the data
+// plane (the golden equivalence suite pins this).
+type prober struct {
+	world   *sim.World
+	bridges []*bridge
+	hold    sim.Time
+	service sim.Time
+	every   sim.Time
+	acc     *analysis.RelayDepthAccum
+
+	routes [][]Hop // one route per ordered pair, aligned with rngs/fns
+	rngs   []*rand.Rand
+	fns    []func()
+}
+
+// newProber precomputes every ordered pair's route and arrival stream.
+func newProber(cfg Config, o *overlay, topo Topology) *prober {
+	pr := &prober{
+		world:   o.world,
+		bridges: o.bridges,
+		hold:    cfg.HoldTime,
+		service: relayAirTime(cfg.RelayBytes),
+		every:   cfg.RelayProbeEvery,
+		acc:     analysis.NewRelayDepthAccum(),
+	}
+	for src := 0; src < topo.Piconets; src++ {
+		for dst := 0; dst < topo.Piconets; dst++ {
+			if src == dst {
+				continue
+			}
+			i := len(pr.routes)
+			pr.routes = append(pr.routes, topo.Route(src, dst))
+			pr.rngs = append(pr.rngs, o.world.RNG(fmt.Sprintf("probe.%d.%d", src, dst)))
+			pr.fns = append(pr.fns, func() { pr.probe(i) })
+		}
+	}
+	return pr
+}
+
+// start schedules every pair's first probe arrival.
+func (pr *prober) start() {
+	for i := range pr.fns {
+		pr.world.ScheduleAfter(pr.next(i), pr.fns[i])
+	}
+}
+
+// next samples pair i's exponential inter-arrival time.
+func (pr *prober) next(i int) sim.Time {
+	return sim.Time(pr.rngs[i].ExpFloat64() * float64(pr.every))
+}
+
+// probe offers one SDU on pair i's flow: walk the route hop by hop, waiting
+// out any outage in progress, rotating to the pickup piconet, carrying the
+// SDU, and rotating again to deliver — per-hop store-and-forward, exactly
+// the delay anatomy of a scatternet relay path.
+func (pr *prober) probe(i int) {
+	now := pr.world.Now()
+	pr.world.ScheduleAfter(pr.next(i), pr.fns[i])
+	route := pr.routes[i]
+	if route == nil {
+		pr.acc.AddUnreachable()
+		return
+	}
+	t := now
+	for _, h := range route {
+		b := pr.bridges[h.Bridge]
+		// Wait out the bridge's current outage (future failures are unknown
+		// at offer time; this is the delay the sender observes).
+		if t < b.downUntil {
+			t = b.downUntil
+		}
+		// Pickup: the bridge must rotate its residency to the hop's source.
+		t = nextResidency(t, pr.hold, b.serves, h.From)
+		// Carry: one SDU transmission into the bridge's queue discipline.
+		t += pr.service
+		// Delivery: rotate to the hop's destination piconet.
+		t = nextResidency(t, pr.hold, b.serves, h.To)
+	}
+	pr.acc.AddProbe(len(route), (t - now).Seconds())
+}
+
+// nextResidency reports the earliest instant >= t at which the hold schedule
+// has the bridge resident in piconet target (t itself when already there).
+// A bridge that does not serve target never becomes resident; the routing
+// layer guarantees that cannot be asked.
+func nextResidency(t, hold sim.Time, serves []int, target int) sim.Time {
+	idx := -1
+	for i, p := range serves {
+		if p == target {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || len(serves) < 2 {
+		return t
+	}
+	slot := int64(t) / int64(hold)
+	ahead := (int64(idx) - slot%int64(len(serves)) + int64(len(serves))) % int64(len(serves))
+	if ahead == 0 {
+		return t
+	}
+	return sim.Time((slot + ahead) * int64(hold))
+}

@@ -5,6 +5,14 @@
 // the behavior of the bridge nodes that time-share membership across
 // piconets.
 //
+// The shape of the composition is an explicit Topology: a bridge→piconet
+// membership map with built-in generators (Ring, Star, Mesh,
+// RandomConnected), validation and connectivity checking, deterministic BFS
+// relay routing (Route), and redundancy replication (WithRedundancy —
+// K bridges per span, with correlated outages charged only while all K are
+// down at once). On top of the data plane, a passive probe plane walks
+// multi-hop routes and produces the delay-vs-relay-depth table.
+//
 // The composition keeps the repo's determinism architecture intact:
 //
 //   - Each piconet is a full paper campaign (random + realistic testbed
@@ -51,6 +59,9 @@ const (
 	// DefaultQueueCap bounds each store-and-forward queue so overlay
 	// memory stays O(1) even when a bridge is down for a long recovery.
 	DefaultQueueCap = 64
+	// DefaultRelayProbeEvery is the mean inter-arrival of multi-hop relay
+	// probes per ordered piconet pair.
+	DefaultRelayProbeEvery = 60 * sim.Second
 )
 
 // Config describes one scatternet campaign.
@@ -62,12 +73,19 @@ type Config struct {
 	Duration sim.Time
 	// Scenario selects the recovery regime for piconet nodes and bridges.
 	Scenario recovery.Scenario
-	// Piconets is the number of composed piconet campaigns (>= 1).
+	// Piconets is the number of composed piconet campaigns (>= 1). When
+	// Topology is set it may be left zero (the topology dictates it);
+	// otherwise it must agree with Topology.Piconets.
 	Piconets int
 	// Bridges is the number of bridge nodes (0 disables the overlay;
-	// bridges need at least two piconets to connect). Bridge b serves the
-	// piconet ring pair (b mod Piconets, (b+1) mod Piconets).
+	// bridges need at least two piconets to connect). Without an explicit
+	// Topology, bridge b serves the legacy ring pair (b mod Piconets,
+	// (b+1) mod Piconets) — RingBridges(Piconets, Bridges) made implicit.
 	Bridges int
+	// Topology is the explicit bridge→piconet membership map. nil keeps
+	// the legacy ring composition above; a non-nil topology overrides
+	// Piconets/Bridges (which, when non-zero, must agree with it).
+	Topology *Topology
 	// HoldTime is the bridge residency per piconet visit (default 10 s):
 	// at every multiple of HoldTime a bridge detaches from its current
 	// piconet and attaches to the next one it serves.
@@ -80,6 +98,11 @@ type Config struct {
 	// QueueCap bounds each per-destination store-and-forward queue
 	// (default 64); arrivals beyond it are counted as queue drops.
 	QueueCap int
+	// RelayProbeEvery is the mean inter-arrival of multi-hop relay probes
+	// per ordered piconet pair (default 60 s). Probes walk the topology's
+	// minimum-hop route analytically — they read bridge state but never
+	// perturb it — and feed the delay-vs-relay-depth table.
+	RelayProbeEvery sim.Time
 	// Streaming folds each piconet's records into running aggregates as
 	// they are collected (O(1) memory in campaign length), exactly like
 	// the single-piconet streaming plane.
@@ -113,10 +136,22 @@ func (c Config) withDefaults() Config {
 	if c.QueueCap == 0 {
 		c.QueueCap = DefaultQueueCap
 	}
+	if c.RelayProbeEvery == 0 {
+		c.RelayProbeEvery = DefaultRelayProbeEvery
+	}
 	if c.FlushEvery == 0 {
 		c.FlushEvery = sim.Hour
 	}
 	return c
+}
+
+// effectiveTopology resolves the campaign's membership map: the explicit
+// Topology when set, the legacy ring otherwise.
+func (c Config) effectiveTopology() Topology {
+	if c.Topology != nil {
+		return *c.Topology
+	}
+	return RingBridges(c.Piconets, c.Bridges)
 }
 
 // Validate reports configuration errors (on the defaulted view, so a zero
@@ -128,22 +163,38 @@ func (c Config) Validate() error {
 		return fmt.Errorf("scatternet: non-positive campaign duration")
 	case c.Scenario < recovery.ScenarioRebootOnly || c.Scenario > recovery.ScenarioSIRAsMasking:
 		return fmt.Errorf("scatternet: unknown scenario %d", c.Scenario)
-	case c.Piconets < 1:
-		return fmt.Errorf("scatternet: need at least one piconet, got %d", c.Piconets)
-	case c.Bridges < 0:
-		return fmt.Errorf("scatternet: negative bridge count")
-	case c.Bridges > 0 && c.Piconets < 2:
-		return fmt.Errorf("scatternet: %d bridge(s) need at least two piconets to connect", c.Bridges)
 	case c.HoldTime <= 0:
 		return fmt.Errorf("scatternet: non-positive bridge hold time")
 	case c.RelayEvery <= 0:
 		return fmt.Errorf("scatternet: non-positive relay inter-arrival time")
+	case c.RelayProbeEvery <= 0:
+		return fmt.Errorf("scatternet: non-positive relay probe inter-arrival time")
 	case c.RelayBytes <= 0:
 		return fmt.Errorf("scatternet: non-positive relay SDU size")
 	case c.QueueCap <= 0:
 		return fmt.Errorf("scatternet: non-positive relay queue capacity")
 	case c.FlushEvery < 0:
 		return fmt.Errorf("scatternet: negative streaming flush interval")
+	}
+	if c.Topology == nil {
+		switch {
+		case c.Piconets < 1:
+			return fmt.Errorf("scatternet: need at least one piconet, got %d", c.Piconets)
+		case c.Bridges < 0:
+			return fmt.Errorf("scatternet: negative bridge count")
+		case c.Bridges > 0 && c.Piconets < 2:
+			return fmt.Errorf("scatternet: %d bridge(s) need at least two piconets to connect", c.Bridges)
+		}
+		return nil
+	}
+	if err := c.Topology.Validate(); err != nil {
+		return err
+	}
+	if c.Piconets != 0 && c.Piconets != c.Topology.Piconets {
+		return fmt.Errorf("scatternet: Piconets %d disagrees with topology's %d", c.Piconets, c.Topology.Piconets)
+	}
+	if c.Bridges != 0 && c.Bridges != c.Topology.Bridges() {
+		return fmt.Errorf("scatternet: Bridges %d disagrees with topology's %d", c.Bridges, c.Topology.Bridges())
 	}
 	return nil
 }
@@ -173,37 +224,49 @@ type Piconet struct {
 type Result struct {
 	Config   Config
 	Piconets []*Piconet
+	// Topology is the effective bridge→piconet membership map the campaign
+	// ran (the explicit one, or the legacy ring made explicit).
+	Topology Topology
 	// Bridges is the bridge-attributed aggregate (empty table when the
 	// campaign had no bridges).
 	Bridges *analysis.BridgeTable
+	// RelayDepth is the delay-vs-relay-depth aggregate from the multi-hop
+	// probe plane (empty when the campaign had no bridges).
+	RelayDepth *analysis.RelayDepthAccum
+	// Redundancy is the per-span redundancy aggregate: one row per group of
+	// bridges serving the same piconet set (empty table without bridges).
+	Redundancy *analysis.RedundancyTable
 }
 
 // Campaign is a live scatternet: the per-piconet testbed pairs plus the
 // bridge overlay.
 type Campaign struct {
 	cfg     Config
+	topo    Topology
 	pairs   []*testbed.Campaign
 	overlay *overlay
 }
 
 // New assembles the scatternet: one testbed pair per piconet (piconet 0
-// with the unmodified root seed) and, when bridges are configured, the
-// overlay world with its bridge hosts and per-piconet NAP anchors.
+// with the unmodified root seed) and, when the topology deploys bridges,
+// the overlay world with its bridge hosts and per-piconet NAP anchors.
 func New(cfg Config) (*Campaign, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Campaign{cfg: cfg}
-	for p := 0; p < cfg.Piconets; p++ {
+	topo := cfg.effectiveTopology()
+	cfg.Piconets, cfg.Bridges = topo.Piconets, topo.Bridges()
+	c := &Campaign{cfg: cfg, topo: topo}
+	for p := 0; p < topo.Piconets; p++ {
 		pair, err := testbed.NewCampaign(PiconetSeed(cfg.Seed, p), cfg.Scenario, nil)
 		if err != nil {
 			return nil, err
 		}
 		c.pairs = append(c.pairs, pair)
 	}
-	if cfg.Bridges > 0 {
-		c.overlay = newOverlay(cfg)
+	if topo.Bridges() > 0 {
+		c.overlay = newOverlay(cfg, topo)
 	}
 	return c, nil
 }
@@ -216,9 +279,12 @@ func New(cfg Config) (*Campaign, error) {
 // everything has finished.
 func (c *Campaign) Run() (*Result, error) {
 	res := &Result{
-		Config:   c.cfg,
-		Piconets: make([]*Piconet, len(c.pairs)),
-		Bridges:  &analysis.BridgeTable{},
+		Config:     c.cfg,
+		Piconets:   make([]*Piconet, len(c.pairs)),
+		Topology:   c.topo,
+		Bridges:    &analysis.BridgeTable{},
+		RelayDepth: analysis.NewRelayDepthAccum(),
+		Redundancy: &analysis.RedundancyTable{},
 	}
 	errs := make([]error, len(c.pairs))
 	if c.cfg.Parallelism == 1 {
@@ -249,6 +315,8 @@ func (c *Campaign) Run() (*Result, error) {
 	}
 	if c.overlay != nil {
 		res.Bridges = c.overlay.Table()
+		res.RelayDepth = c.overlay.prober.acc
+		res.Redundancy = c.overlay.RedundancyTable(c.cfg.Duration)
 	}
 	return res, nil
 }

@@ -200,3 +200,163 @@ func TestRunDeterministic(t *testing.T) {
 		t.Fatal("piconet count diverges")
 	}
 }
+
+// TestConfigTopologyCrossChecks pins the Config/Topology consistency rules:
+// a non-nil topology overrides Piconets/Bridges but rejects explicit values
+// that disagree with it, and an invalid membership map fails validation.
+func TestConfigTopologyCrossChecks(t *testing.T) {
+	topo := Star(3)
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{"topology only", func(c *Config) { c.Piconets, c.Bridges, c.Topology = 0, 0, &topo }, true},
+		{"agreeing counts", func(c *Config) { c.Piconets, c.Bridges, c.Topology = 3, 2, &topo }, true},
+		{"piconet mismatch", func(c *Config) { c.Piconets, c.Topology = 4, &topo }, false},
+		{"bridge mismatch", func(c *Config) { c.Bridges, c.Piconets, c.Topology = 5, 3, &topo }, false},
+		{"invalid topology", func(c *Config) {
+			bad := Topology{Piconets: 2, Members: [][]int{{0, 0}}}
+			c.Topology = &bad
+		}, false},
+	}
+	for _, tc := range cases {
+		cfg := baseConfig()
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// TestStarRelayDepths runs a real star campaign and checks the probe plane:
+// hub routes are depth 1, spoke-to-spoke routes depth 2, delays are
+// non-negative, and deeper routes cost more on average (two residency
+// rotations instead of one).
+func TestStarRelayDepths(t *testing.T) {
+	topo := Star(3)
+	cfg := baseConfig()
+	cfg.Piconets, cfg.Bridges = 0, 0
+	cfg.Topology = &topo
+	camp, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	depths := res.RelayDepth.Depths()
+	if len(depths) != 2 || depths[0] != 1 || depths[1] != 2 {
+		t.Fatalf("star relay depths = %v, want [1 2]", depths)
+	}
+	if res.RelayDepth.Unreachable != 0 {
+		t.Errorf("%d unreachable probes in a connected star", res.RelayDepth.Unreachable)
+	}
+	d1, d2 := res.RelayDepth.ByDepth[1], res.RelayDepth.ByDepth[2]
+	if d1.N() == 0 || d2.N() == 0 {
+		t.Fatalf("empty depth buckets: %d/%d probes", d1.N(), d2.N())
+	}
+	if d1.Min() < 0 || d2.Min() < 0 {
+		t.Error("negative relay delay")
+	}
+	if d2.Mean() <= d1.Mean() {
+		t.Errorf("depth-2 mean %.2f s not above depth-1 mean %.2f s", d2.Mean(), d1.Mean())
+	}
+}
+
+// TestRedundancyGroupAccounting runs a 2-redundant campaign and checks the
+// all-down bookkeeping against the per-bridge rows: all-down time can never
+// exceed any single member's downtime, episodes can never exceed member
+// outages, and the table's span/K wiring matches the topology.
+func TestRedundancyGroupAccounting(t *testing.T) {
+	topo := RingBridges(2, 1).WithRedundancy(2)
+	cfg := baseConfig()
+	cfg.Duration = 6 * sim.Hour
+	cfg.Piconets, cfg.Bridges = 0, 0
+	cfg.Topology = &topo
+	camp, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Redundancy.Rows) != 1 {
+		t.Fatalf("%d redundancy rows, want 1", len(res.Redundancy.Rows))
+	}
+	g := res.Redundancy.Rows[0]
+	if g.K != 2 || len(g.Bridges) != 2 || len(g.MemberDownSeconds) != 2 {
+		t.Fatalf("group shape %+v, want K=2", g)
+	}
+	if g.DurationSeconds != cfg.Duration.Seconds() {
+		t.Errorf("group horizon %.0f s, want %.0f s", g.DurationSeconds, cfg.Duration.Seconds())
+	}
+	if g.MemberOutages == 0 {
+		t.Fatal("no member outage in six virtual hours")
+	}
+	if g.AllDownEpisodes > g.MemberOutages {
+		t.Errorf("%d all-down episodes exceed %d member outages", g.AllDownEpisodes, g.MemberOutages)
+	}
+	for i, down := range g.MemberDownSeconds {
+		if g.AllDownSeconds > down+1e-9 {
+			t.Errorf("all-down %.1f s exceeds member %d downtime %.1f s", g.AllDownSeconds, i, down)
+		}
+		if down > g.DurationSeconds+1e-9 {
+			t.Errorf("member %d downtime %.1f s exceeds the campaign horizon", i, down)
+		}
+	}
+	if got := g.MeasuredUnavailability(); got < 0 || got > 1 {
+		t.Errorf("measured unavailability %v out of [0,1]", got)
+	}
+	if m := g.Model1of2(); m == nil || m.Availability() < 0 || m.Availability() > 1 {
+		t.Errorf("1-of-2 model = %+v", m)
+	}
+	// Redundancy must help: the all-down fraction is below the worst
+	// member's individual down fraction.
+	worst := 0.0
+	for _, down := range g.MemberDownSeconds {
+		if f := down / g.DurationSeconds; f > worst {
+			worst = f
+		}
+	}
+	if g.MeasuredUnavailability() >= worst && worst > 0 {
+		t.Errorf("all-down fraction %.3f not below worst member %.3f", g.MeasuredUnavailability(), worst)
+	}
+}
+
+// TestWideBridgeMembership runs a bridge that spans three piconets and
+// checks the rotation visits all of them and the accounting stays
+// consistent across a wider coupling set.
+func TestWideBridgeMembership(t *testing.T) {
+	topo := Topology{Piconets: 3, Members: [][]int{{0, 1, 2}}}
+	cfg := baseConfig()
+	cfg.Piconets, cfg.Bridges = 0, 0
+	cfg.Topology = &topo
+	visited := map[int]bool{}
+	cfg.OnBridgeHop = func(_ string, _ sim.Time, piconet int) { visited[piconet] = true }
+	camp, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := camp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visited) != 3 {
+		t.Errorf("three-piconet bridge visited %v, want all of 0,1,2", visited)
+	}
+	row := res.Bridges.Rows[0]
+	if len(row.Coupling) != 3 {
+		t.Fatalf("wide bridge couples %d piconets, want 3", len(row.Coupling))
+	}
+	for _, c := range row.Coupling {
+		if c.Outages != row.Outages {
+			t.Errorf("piconet %d saw %d outages, bridge had %d", c.Piconet, c.Outages, row.Outages)
+		}
+	}
+	if got, want := res.Bridges.CorrelatedOutages(), 3*row.Outages; got != want {
+		t.Errorf("CorrelatedOutages() = %d, want %d", got, want)
+	}
+}

@@ -1,9 +1,24 @@
 package btpan
 
 import (
+	"fmt"
+
 	"repro/internal/analysis"
 	"repro/internal/scatternet"
 	"repro/internal/sim"
+)
+
+// Topology names for ScatternetConfig.Topology. The empty string keeps the
+// legacy ring-pair composition (bridge b serves b mod P, (b+1) mod P).
+const (
+	// TopologyRing is the canonical ring: one bridge per ring edge.
+	TopologyRing = "ring"
+	// TopologyStar hangs every piconet off hub piconet 0 (minimal depth-2).
+	TopologyStar = "star"
+	// TopologyMesh bridges every piconet pair directly (all routes depth 1).
+	TopologyMesh = "mesh"
+	// TopologyRandom is a seeded random connected graph over Bridges bridges.
+	TopologyRandom = "random"
 )
 
 // ScatternetConfig configures a multi-piconet scatternet campaign: the
@@ -18,9 +33,23 @@ type ScatternetConfig struct {
 	// Piconet 0 runs on the root seed unchanged; piconet p > 0 derives
 	// scatternet.PiconetSeed(Seed, p).
 	Piconets int
-	// Bridges is the number of bridge nodes time-sharing across piconets
-	// (bridge b serves the ring pair b mod Piconets, (b+1) mod Piconets).
+	// Bridges is the number of bridge nodes. With the default (legacy ring)
+	// topology, bridge b serves the ring pair (b mod Piconets, (b+1) mod
+	// Piconets); with TopologyRandom it is the random graph's edge budget
+	// (>= Piconets-1). Ring/star/mesh topologies dictate their own bridge
+	// count and ignore it.
 	Bridges int
+	// Topology selects a built-in membership-map generator (TopologyRing,
+	// TopologyStar, TopologyMesh, TopologyRandom). Empty keeps the legacy
+	// ring-pair composition driven by Piconets/Bridges.
+	Topology string
+	// Members is an explicit bridge→piconet membership map (Members[b]
+	// lists the piconets bridge b serves); it overrides Topology/Bridges.
+	Members [][]int
+	// Redundancy deploys K bridges per span instead of one (K <= 1 keeps
+	// single bridges): every span becomes a redundancy group whose
+	// correlated outage is charged only while all K bridges are down.
+	Redundancy int
 	// HoldTime is the bridge residency per piconet visit (default 10 s).
 	HoldTime sim.Time
 	// RelayEvery is the mean relay-SDU inter-arrival per directed
@@ -30,14 +59,53 @@ type ScatternetConfig struct {
 	RelayBytes int
 }
 
+// topology resolves the configured membership map (nil for the legacy ring).
+func (c ScatternetConfig) topology() (*scatternet.Topology, error) {
+	var topo scatternet.Topology
+	switch {
+	case c.Members != nil:
+		topo = scatternet.Topology{Piconets: c.Piconets, Members: c.Members}
+	case c.Topology == "":
+		if c.Redundancy > 1 && c.Piconets >= 1 && c.Bridges > 0 {
+			topo = scatternet.RingBridges(c.Piconets, c.Bridges)
+			break
+		}
+		// Pure legacy path — including degenerate counts, which the
+		// engine's legacy validation rejects with the specific messages.
+		return nil, nil
+	case c.Topology == TopologyRing:
+		topo = scatternet.Ring(c.Piconets)
+	case c.Topology == TopologyStar:
+		topo = scatternet.Star(c.Piconets)
+	case c.Topology == TopologyMesh:
+		topo = scatternet.Mesh(c.Piconets)
+	case c.Topology == TopologyRandom:
+		var err error
+		topo, err = scatternet.RandomConnected(c.Piconets, c.Bridges, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("btpan: unknown topology %q (want %s, %s, %s or %s)",
+			c.Topology, TopologyRing, TopologyStar, TopologyMesh, TopologyRandom)
+	}
+	topo = topo.WithRedundancy(c.Redundancy)
+	return &topo, nil
+}
+
 // internalConfig maps the public config onto the scatternet engine's.
-func (c ScatternetConfig) internalConfig() scatternet.Config {
-	return scatternet.Config{
+func (c ScatternetConfig) internalConfig() (scatternet.Config, error) {
+	topo, err := c.topology()
+	if err != nil {
+		return scatternet.Config{}, err
+	}
+	cfg := scatternet.Config{
 		Seed:        c.Seed,
 		Duration:    c.Duration,
 		Scenario:    c.Scenario,
 		Piconets:    c.Piconets,
 		Bridges:     c.Bridges,
+		Topology:    topo,
 		HoldTime:    c.HoldTime,
 		RelayEvery:  c.RelayEvery,
 		RelayBytes:  c.RelayBytes,
@@ -45,22 +113,44 @@ func (c ScatternetConfig) internalConfig() scatternet.Config {
 		FlushEvery:  c.FlushEvery,
 		Parallelism: c.Parallelism,
 	}
+	if topo != nil {
+		// The generated map dictates the piconet/bridge counts; the engine
+		// cross-checks only explicitly set fields.
+		cfg.Bridges = 0
+	}
+	return cfg, nil
 }
 
 // Validate reports configuration errors.
-func (c ScatternetConfig) Validate() error { return c.internalConfig().Validate() }
+func (c ScatternetConfig) Validate() error {
+	cfg, err := c.internalConfig()
+	if err != nil {
+		return err
+	}
+	return cfg.Validate()
+}
 
 // ScatternetResult bundles a finished scatternet campaign: one full
 // CampaignResult per piconet (every table/figure method answers per
-// piconet) plus the bridge-attributed failure-coupling aggregate.
+// piconet) plus the bridge-attributed failure-coupling, delay-vs-relay-depth
+// and redundancy aggregates.
 type ScatternetResult struct {
 	Config ScatternetConfig
 	// Piconets holds the per-piconet campaign results in topology order;
 	// Piconets[0] is the classic campaign of the root seed.
 	Piconets []*CampaignResult
+	// Topology is the effective membership map the campaign ran.
+	Topology scatternet.Topology
 	// Bridges attributes inter-piconet traffic and correlated outages to
 	// the bridge nodes (empty table when the campaign had no bridges).
 	Bridges *analysis.BridgeTable
+	// RelayDepth is the delay-vs-relay-depth table from the multi-hop
+	// relay probe plane (empty without bridges).
+	RelayDepth *analysis.RelayDepthAccum
+	// Redundancy is the per-span redundancy table: correlated outages are
+	// charged only while every bridge of a span is down at once, compared
+	// against the independent-failure model (empty without bridges).
+	Redundancy *analysis.RedundancyTable
 }
 
 // RunScatternet builds and runs the scatternet campaign: every piconet is a
@@ -70,7 +160,11 @@ type ScatternetResult struct {
 // the overlay are independent simulations, so they run concurrently with
 // bit-identical results to a sequential pass (Parallelism: 1 to force one).
 func RunScatternet(cfg ScatternetConfig) (*ScatternetResult, error) {
-	camp, err := scatternet.New(cfg.internalConfig())
+	engineCfg, err := cfg.internalConfig()
+	if err != nil {
+		return nil, err
+	}
+	camp, err := scatternet.New(engineCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +172,13 @@ func RunScatternet(cfg ScatternetConfig) (*ScatternetResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &ScatternetResult{Config: cfg, Bridges: res.Bridges}
+	out := &ScatternetResult{
+		Config:     cfg,
+		Topology:   res.Topology,
+		Bridges:    res.Bridges,
+		RelayDepth: res.RelayDepth,
+		Redundancy: res.Redundancy,
+	}
 	for _, pic := range res.Piconets {
 		picCfg := cfg.CampaignConfig
 		picCfg.Seed = scatternet.PiconetSeed(cfg.Seed, pic.Index)

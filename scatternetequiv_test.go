@@ -1,6 +1,7 @@
 package btpan
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/sim"
@@ -11,7 +12,7 @@ func runScat(t *testing.T, piconets, bridges int, streaming bool) *ScatternetRes
 	t.Helper()
 	res, err := RunScatternet(ScatternetConfig{
 		CampaignConfig: CampaignConfig{
-			Seed: 7, Duration: 1 * Day, Scenario: ScenarioSIRAsMasking,
+			Seed: 7, Duration: equivDuration(), Scenario: ScenarioSIRAsMasking,
 			Streaming: streaming,
 		},
 		Piconets: piconets,
@@ -122,5 +123,31 @@ func TestScatternetSweep(t *testing.T) {
 	}
 	if ci := res.CorrelatedOutagesCI(); ci.N != 2 {
 		t.Errorf("CorrelatedOutagesCI over %d seeds, want 2", ci.N)
+	}
+	if ci := res.RelayDepthCI(); ci == nil || ci.Seeds != 2 || len(ci.Rows) == 0 {
+		t.Errorf("RelayDepthCI = %+v, want 2 seeds with rows", ci)
+	}
+	if ci := res.RedundancyCI(); ci == nil || ci.Seeds != 2 || ci.MemberOutages.N != 2 {
+		t.Errorf("RedundancyCI = %+v, want 2 seeds", ci)
+	}
+}
+
+// TestScatternetSweepSharedRandomTopology pins that a random-topology sweep
+// materializes ONE graph from the base seed and reuses it for every seed —
+// the CIs must measure seed-to-seed variation, not topology churn.
+func TestScatternetSweepSharedRandomTopology(t *testing.T) {
+	res, err := Sweep(SweepConfig{
+		BaseSeed: 5, Seeds: 2, Duration: 2 * Hour, Scenario: ScenarioSIRAs,
+		Workers: 2, Piconets: 3, Bridges: 3, Topology: TopologyRandom,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := res.Scatternets[0].Topology, res.Scatternets[1].Topology
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("seeds ran different random topologies:\nseed 0: %+v\nseed 1: %+v", a, b)
+	}
+	if a.Bridges() != 3 || !a.Connected() {
+		t.Errorf("sweep topology %+v, want 3 connected bridges", a)
 	}
 }

@@ -8,11 +8,22 @@ import (
 	"repro/internal/sim"
 )
 
+// equivDuration is the equivalence suite's observation window. The streaming
+// and scatternet equivalence tests compare runs of this exact duration
+// against each other at a fixed seed, so -short (the CI race job) may shrink
+// it without weakening the bit-identity claim — both sides shrink together.
+func equivDuration() sim.Time {
+	if testing.Short() {
+		return 6 * Hour
+	}
+	return 1 * Day
+}
+
 // runEquiv runs one campaign with the given aggregation plane.
 func runEquiv(t *testing.T, streaming bool, parallelism int, flush sim.Time) *CampaignResult {
 	t.Helper()
 	res, err := RunCampaign(CampaignConfig{
-		Seed: 7, Duration: 1 * Day, Scenario: ScenarioSIRAsMasking,
+		Seed: 7, Duration: equivDuration(), Scenario: ScenarioSIRAsMasking,
 		Streaming: streaming, Parallelism: parallelism, FlushEvery: flush,
 	})
 	if err != nil {

@@ -35,27 +35,36 @@ type SweepConfig struct {
 	// Retained switches the per-seed campaigns to the record-retaining
 	// plane (debugging / raw-record analysis; memory grows with duration).
 	Retained bool
-	// Piconets/Bridges/HoldTime switch the sweep to scatternet campaigns:
-	// when either Piconets or Bridges is set, every seed runs a scatternet
-	// of that topology instead of a single-piconet campaign (Piconets: 1,
-	// Bridges: 0 is the degenerate scatternet, bit-identical to a classic
-	// sweep per seed). Runs then holds each seed's piconet-0 result (so
-	// every CI method keeps answering for the classic campaign view) and
-	// Scatternets the full per-seed results for the per-piconet and
-	// bridge-coupling CIs.
-	Piconets int
-	Bridges  int
-	HoldTime sim.Time
+	// Piconets/Bridges/Topology/Redundancy/HoldTime switch the sweep to
+	// scatternet campaigns: when any of them is set, every seed runs a
+	// scatternet of that topology instead of a single-piconet campaign
+	// (Piconets: 1, Bridges: 0 is the degenerate scatternet, bit-identical
+	// to a classic sweep per seed). Runs then holds each seed's piconet-0
+	// result (so every CI method keeps answering for the classic campaign
+	// view) and Scatternets the full per-seed results for the per-piconet,
+	// bridge-coupling, relay-depth and redundancy CIs. Topology and
+	// Redundancy carry ScatternetConfig's semantics (built-in generator
+	// name; K bridges per span).
+	Piconets   int
+	Bridges    int
+	Topology   string
+	Redundancy int
+	HoldTime   sim.Time
 }
 
 // Scatternet reports whether the sweep runs scatternet campaigns (any
 // explicit topology engages the scatternet path, so a 1-piconet request
 // still populates Scatternets and the per-piconet CIs).
-func (c SweepConfig) Scatternet() bool { return c.Piconets > 0 || c.Bridges > 0 }
+func (c SweepConfig) Scatternet() bool {
+	return c.Piconets > 0 || c.Bridges > 0 || c.Topology != "" || c.Redundancy > 1
+}
 
-// scatternetConfig builds seed i's scatternet campaign config.
+// scatternetConfig builds seed i's scatternet campaign config. A random
+// topology is materialized once from the base seed and shared by every seed,
+// so the sweep's CIs measure seed-to-seed variation of one graph rather than
+// topology churn.
 func (c SweepConfig) scatternetConfig(i int) ScatternetConfig {
-	return ScatternetConfig{
+	sc := ScatternetConfig{
 		CampaignConfig: CampaignConfig{
 			Seed:       c.BaseSeed + uint64(i),
 			Duration:   c.Duration,
@@ -63,10 +72,21 @@ func (c SweepConfig) scatternetConfig(i int) ScatternetConfig {
 			Streaming:  !c.Retained,
 			FlushEvery: c.FlushEvery,
 		},
-		Piconets: c.Piconets,
-		Bridges:  c.Bridges,
-		HoldTime: c.HoldTime,
+		Piconets:   c.Piconets,
+		Bridges:    c.Bridges,
+		Topology:   c.Topology,
+		Redundancy: c.Redundancy,
+		HoldTime:   c.HoldTime,
 	}
+	if c.Topology == TopologyRandom {
+		base := sc
+		base.Seed = c.BaseSeed
+		if topo, err := base.topology(); err == nil {
+			// topology() already applied the redundancy replication.
+			sc.Members, sc.Topology, sc.Redundancy = topo.Members, "", 0
+		}
+	}
+	return sc
 }
 
 // Validate reports configuration errors.
@@ -230,6 +250,34 @@ func (s *SweepResult) BridgeDowntimeCI() stats.Estimate {
 		xs = append(xs, r.Bridges.TotalDowntimeSeconds())
 	}
 	return stats.CI95(xs)
+}
+
+// RelayDepthCI summarizes the sweep's delay-vs-relay-depth tables: per-depth
+// probe counts and mean store-and-forward delays as mean ± 95 % CI over the
+// seeds (nil when the sweep was not a scatternet).
+func (s *SweepResult) RelayDepthCI() *analysis.RelayDepthCI {
+	if s.Scatternets == nil {
+		return nil
+	}
+	accs := make([]*analysis.RelayDepthAccum, len(s.Scatternets))
+	for i, r := range s.Scatternets {
+		accs[i] = r.RelayDepth
+	}
+	return analysis.BuildRelayDepthCI(accs)
+}
+
+// RedundancyCI summarizes the sweep's redundancy tables: per-seed member
+// outages, all-down episodes and all-down seconds as mean ± 95 % CI (nil
+// when the sweep was not a scatternet).
+func (s *SweepResult) RedundancyCI() *analysis.RedundancyCI {
+	if s.Scatternets == nil {
+		return nil
+	}
+	tables := make([]*analysis.RedundancyTable, len(s.Scatternets))
+	for i, r := range s.Scatternets {
+		tables[i] = r.Redundancy
+	}
+	return analysis.BuildRedundancyCI(tables)
 }
 
 // SweepTable4 runs one sweep per recovery scenario (same seeds and
