@@ -1,0 +1,160 @@
+// Command btagent runs one testbed shard of a distributed collection
+// campaign: it builds the shard's simulated testbed (the same seed
+// derivation a single-process campaign uses, so the shard is bit-identical
+// to the corresponding testbed of `btcampaign -stream` at the same seed),
+// drains every node's Test/System logs on the virtual flush cadence, and
+// streams them to a btsink repository as sequenced binary batch frames over
+// TCP.
+//
+// Delivery is at-least-once: batches stay buffered until the sink
+// acknowledges them, connection losses reconnect and resume from the sink's
+// handshake cursors, and acknowledgement stalls trigger go-back-N
+// retransmission — so the campaign survives sink restarts and (with the
+// fault-injection knobs) deterministic frame loss, duplication, reordering
+// and delay on the data path. See PROTOCOL.md for the wire format and
+// OPERATIONS.md for deployment walkthroughs.
+//
+// Usage:
+//
+//	btagent -sink HOST:PORT -testbed random|realistic [flags]
+//
+// Flags:
+//
+//	-sink ADDR       sink address (default 127.0.0.1:9310)
+//	-testbed T       shard to run: random or realistic (required)
+//	-seed N          campaign seed (default 1); must match the sink's
+//	-days D          virtual campaign days 1..540 (default 4); must match
+//	-scenario 1..4   recovery regime (default 3); must match the sink's
+//	-flush S         virtual seconds between log drains (default 3600)
+//	-codec C         data frame codec: binary or json (default binary)
+//	-timeout D       how long Finish waits for the sink's completion
+//	                 confirmation, e.g. 5m (default 10m; 0 waits forever)
+//	-drop P          fault injection: P(drop) per data frame (default 0)
+//	-dup P           fault injection: P(duplicate) per data frame (default 0)
+//	-reorder P       fault injection: P(swap with next frame) (default 0)
+//	-delay D         fault injection: delay imposed on a delay decision
+//	-delay-rate P    fault injection: P(delay) per data frame (default 0)
+//	-fault-seed N    fault injection decision seed (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	btpan "repro"
+	"repro/internal/collector"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+func main() {
+	sinkAddr := flag.String("sink", "127.0.0.1:9310", "sink address")
+	shard := flag.String("testbed", "", "testbed shard: random or realistic")
+	seed := flag.Uint64("seed", 1, "campaign seed (must match the sink)")
+	days := flag.Int("days", 4, "virtual campaign days 1..540 (must match the sink)")
+	scenario := flag.Int("scenario", int(btpan.ScenarioSIRAs),
+		"recovery scenario 1..4 (must match the sink)")
+	flush := flag.Int("flush", 3600, "virtual seconds between log drains")
+	codecName := flag.String("codec", "binary", "data frame codec: binary or json")
+	timeout := flag.Duration("timeout", 10*time.Minute, "completion confirmation timeout (0 = forever)")
+	drop := flag.Float64("drop", 0, "fault injection: drop probability per data frame")
+	dup := flag.Float64("dup", 0, "fault injection: duplicate probability per data frame")
+	reorder := flag.Float64("reorder", 0, "fault injection: reorder probability per data frame")
+	delay := flag.Duration("delay", 0, "fault injection: delay imposed on a delay decision")
+	delayRate := flag.Float64("delay-rate", 0, "fault injection: delay probability per data frame")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault injection decision seed")
+	flag.Parse()
+
+	if *days < 1 || *days > 540 {
+		fatal(fmt.Errorf("-days %d out of range 1..540", *days))
+	}
+	if *flush < 1 {
+		fatal(fmt.Errorf("-flush %d must be at least one virtual second", *flush))
+	}
+	codec, err := collector.ParseCodec(*codecName)
+	if err != nil {
+		fatal(err)
+	}
+	duration := sim.Time(*days) * sim.Day
+
+	randomOpts, realisticOpts := testbed.CampaignOptions(*seed, btpan.Scenario(*scenario), duration)
+	var opts testbed.Options
+	switch *shard {
+	case "random":
+		opts = randomOpts
+	case "realistic":
+		opts = realisticOpts
+	default:
+		fatal(fmt.Errorf("-testbed %q: want random or realistic", *shard))
+	}
+	tb, err := testbed.New(opts)
+	if err != nil {
+		fatal(err)
+	}
+	nodes := make([]string, 0, len(tb.PANUs)+1)
+	for _, h := range tb.PANUs {
+		nodes = append(nodes, h.Node)
+	}
+	nodes = append(nodes, tb.NAP.Node)
+
+	agent, err := collector.NewAgent(collector.AgentConfig{
+		Addr: *sinkAddr,
+		Campaign: collector.CampaignID{Seed: *seed, Duration: duration,
+			Scenario: *scenario},
+		Testbed: opts.Name, Nodes: nodes, Codec: codec,
+		Fault: collector.FaultConfig{
+			Seed: *faultSeed, Drop: *drop, Duplicate: *dup, Reorder: *reorder,
+			Delay: *delay, DelayRate: *delayRate,
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "btagent: running %s shard (seed %d, %v, scenario %q) -> %s\n",
+		opts.Name, *seed, duration, btpan.Scenario(*scenario), *sinkAddr)
+
+	start := time.Now()
+	if err := runShard(tb, agent, duration, sim.Time(*flush)*sim.Second); err != nil {
+		fatal(err)
+	}
+	res := tb.Results()
+	counters := make(map[string]*workload.CountersSnapshot, len(res.Counters))
+	for node, c := range res.Counters {
+		counters[node] = c.Snapshot()
+	}
+	if err := agent.Finish(counters, duration, *timeout); err != nil {
+		fatal(err)
+	}
+	sent, retrans := agent.Stats()
+	fmt.Fprintf(os.Stderr, "btagent: %s shard complete in %v (%d frames sent, %d retransmissions)\n",
+		opts.Name, time.Since(start).Round(time.Millisecond), sent, retrans)
+}
+
+// runShard drives the simulation with the uplink armed. The testbed's
+// streaming drain panics on an unrecoverable uplink error (a refused
+// session, a sink that lost its checkpoint); convert that to a clean CLI
+// failure instead of a stack trace.
+func runShard(tb *testbed.Testbed, agent *collector.Agent, duration, flush sim.Time) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	tb.StreamTo(agent, flush)
+	tb.Run(duration)
+	tb.FinishStream(agent)
+	return nil
+}
+
+// fatal prints the error and exits non-zero.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "btagent:", err)
+	os.Exit(1)
+}

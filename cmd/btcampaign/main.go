@@ -45,6 +45,10 @@
 //	                 instead of retaining them
 //	-seeds N         sweep seed count; N > 1 enables sweep mode with 95% CIs
 //	-workers W       sweep worker pool size; 0 means NumCPU/2
+//	-json FILE       sweep mode: also write the CI tables as JSON (the
+//	                 input of docs/CONVERGENCE.md)
+//	-checkpoint-dir D  sweep mode: persist each completed seed in D and
+//	                 resume interrupted sweeps (streaming sweeps only)
 //	-scatternet      run a multi-piconet scatternet campaign
 //	-piconets P      scatternet piconet count (default 2)
 //	-bridges K       scatternet bridge count for the legacy ring pairing
@@ -59,6 +63,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -70,6 +75,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/logging"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/testbed"
 )
 
@@ -83,6 +89,8 @@ func main() {
 	stream := flag.Bool("stream", false, "streaming aggregation: fold records instead of retaining them")
 	seeds := flag.Int("seeds", 1, "number of sweep seeds (>1 enables sweep mode with 95% CIs)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = NumCPU/2)")
+	jsonOut := flag.String("json", "", "sweep mode: also write the CI tables as JSON to this file")
+	ckptDir := flag.String("checkpoint-dir", "", "sweep mode: per-seed checkpoint directory (interrupted sweeps resume)")
 	scat := flag.Bool("scatternet", false, "run a multi-piconet scatternet campaign")
 	piconets := flag.Int("piconets", 2, "scatternet piconet count (with -scatternet)")
 	bridges := flag.Int("bridges", 1, "scatternet bridge count: legacy ring pairing / random edge budget (with -scatternet)")
@@ -102,6 +110,9 @@ func main() {
 	holdTime := sim.Time(*hold) * sim.Second
 
 	if *scat {
+		if *jsonOut != "" || *ckptDir != "" {
+			fatal(fmt.Errorf("-json and -checkpoint-dir support classic sweeps only, not -scatternet"))
+		}
 		topo := scatTopology{piconets: *piconets, bridges: *bridges,
 			name: *topology, redundancy: *redundancy, hold: holdTime}
 		if *seeds > 1 {
@@ -113,8 +124,11 @@ func main() {
 	}
 
 	if *seeds > 1 {
-		runSweep(*seed, *seeds, duration, btpan.Scenario(*scenario), *workers)
+		runSweep(*seed, *seeds, duration, btpan.Scenario(*scenario), *workers, *jsonOut, *ckptDir)
 		return
+	}
+	if *jsonOut != "" || *ckptDir != "" {
+		fatal(fmt.Errorf("-json and -checkpoint-dir need sweep mode (-seeds > 1)"))
 	}
 
 	cfg := btpan.CampaignConfig{
@@ -129,19 +143,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	u, s, tot := res.DataItems()
-	fmt.Printf("collected %d user reports + %d system entries = %d items\n", u, s, tot)
 
 	if *stream {
 		// Records were folded as they streamed off the nodes; print the
-		// tables straight from the aggregates.
-		d := res.Dependability()
-		fmt.Printf("MTTF %.2f s, MTTR %.2f s, availability %.3f, coverage %.1f%%\n",
-			d.MTTF, d.MTTR, d.Availability, d.CoveragePct)
-		fmt.Printf("\nTable 2 (error-failure relationship)\n%s", res.Table2().Render())
-		fmt.Printf("\nTable 3 (SIRA effectiveness)\n%s", res.Table3().Render())
+		// canonical streaming report straight from the aggregates. The
+		// format is shared with btsink (btpan.WriteReport) so a distributed
+		// run of the same seeds is diffable byte for byte.
+		btpan.WriteReport(os.Stdout, res)
 		return
 	}
+	u, s, tot := res.DataItems()
+	fmt.Printf("collected %d user reports + %d system entries = %d items\n", u, s, tot)
 
 	shipAndPersist(res, codec, *out)
 	d := res.Dependability()
@@ -235,18 +247,23 @@ func runScatternetSweep(baseSeed uint64, seeds int, duration sim.Time,
 }
 
 // runSweep runs the multi-seed sweep and prints every table with 95 % CIs.
-func runSweep(baseSeed uint64, seeds int, duration sim.Time, scenario btpan.Scenario, workers int) {
+// jsonOut optionally writes the machine-readable CI summary (the input of
+// docs/CONVERGENCE.md); ckptDir makes the sweep resumable per seed.
+func runSweep(baseSeed uint64, seeds int, duration sim.Time, scenario btpan.Scenario,
+	workers int, jsonOut, ckptDir string) {
 	fmt.Printf("sweeping %d seeds x %v (scenario %q, %d workers)...\n",
 		seeds, duration, scenario, workers)
 	start := time.Now()
-	res, err := btpan.Sweep(btpan.SweepConfig{
+	cfg := btpan.SweepConfig{
 		BaseSeed: baseSeed, Seeds: seeds, Duration: duration,
-		Scenario: scenario, Workers: workers,
-	})
+		Scenario: scenario, Workers: workers, CheckpointDir: ckptDir,
+	}
+	res, err := btpan.Sweep(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("sweep finished in %v\n\n", time.Since(start).Round(time.Millisecond))
+	elapsed := time.Since(start)
+	fmt.Printf("sweep finished in %v\n\n", elapsed.Round(time.Millisecond))
 	sc := res.ScalarsCI()
 	fmt.Printf("data items per seed: %s user reports, %s system entries\n",
 		sc.UserReports.Format("%.0f"), sc.SystemEntries.Format("%.0f"))
@@ -254,6 +271,74 @@ func runSweep(baseSeed uint64, seeds int, duration sim.Time, scenario btpan.Scen
 	fmt.Printf("Table 2 (error-failure relationship, mean ± 95%% CI)\n%s\n", res.Table2CI().Render())
 	fmt.Printf("Table 3 (SIRA effectiveness, mean ± 95%% CI)\n%s\n", res.Table3CI().Render())
 	fmt.Printf("Table 4 column (dependability, mean ± 95%% CI)\n%s", res.DependabilityCI().Render())
+	if jsonOut != "" {
+		if err := writeSweepJSON(jsonOut, cfg, res, elapsed); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote CI summary -> %s\n", jsonOut)
+	}
+}
+
+// ciJSON is one mean ± 95 % CI cell of the sweep's JSON summary.
+type ciJSON struct {
+	Mean float64 `json:"mean"`
+	Half float64 `json:"half"`
+	N    int     `json:"n"`
+}
+
+// est converts a stats.Estimate for JSON output.
+func est(e stats.Estimate) ciJSON { return ciJSON{Mean: e.Mean, Half: e.Half, N: e.N} }
+
+// writeSweepJSON emits the sweep's CI tables as machine-readable JSON: the
+// §6 scalars, the Table 4 column, Table 2's TOT column and per-source
+// totals, and Table 3's Total row. docs/CONVERGENCE.md is built from these
+// files across horizons.
+func writeSweepJSON(path string, cfg btpan.SweepConfig, res *btpan.SweepResult,
+	elapsed time.Duration) error {
+	sc := res.ScalarsCI()
+	t2 := res.Table2CI()
+	t3 := res.Table3CI()
+	d := res.DependabilityCI()
+	t2tot := make(map[string]ciJSON, len(t2.Tot))
+	for f, e := range t2.Tot {
+		t2tot[f.String()] = est(e)
+	}
+	t2src := make(map[string]ciJSON, len(t2.SourceTotals))
+	for src, e := range t2.SourceTotals {
+		t2src[src.String()] = est(e)
+	}
+	t3total := make(map[string]ciJSON, core.NumRecoveryActions)
+	for i, a := range core.RecoveryActions() {
+		t3total[a.String()] = est(t3.TotalRow[i])
+	}
+	out := map[string]any{
+		"base_seed":    cfg.BaseSeed,
+		"seeds":        cfg.Seeds,
+		"days":         int(cfg.Duration / sim.Day),
+		"scenario":     int(cfg.Scenario),
+		"wall_seconds": elapsed.Seconds(),
+		"scalars": map[string]ciJSON{
+			"user_reports":     est(sc.UserReports),
+			"system_entries":   est(sc.SystemEntries),
+			"random_share_pct": est(sc.RandomSharePct),
+		},
+		"dependability": map[string]ciJSON{
+			"mttf_s":       est(d.MTTF),
+			"mttr_s":       est(d.MTTR),
+			"availability": est(d.Availability),
+			"coverage_pct": est(d.CoveragePct),
+			"masking_pct":  est(d.MaskingPct),
+			"failures":     est(d.Failures),
+		},
+		"table2_tot_pct":    t2tot,
+		"table2_source_pct": t2src,
+		"table3_total_pct":  t3total,
+	}
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
 }
 
 // shipAndPersist pushes the retained campaign through the real collection

@@ -1,0 +1,115 @@
+// Command btsink hosts the distributed collection plane's central
+// repository: the streaming aggregator for one campaign, fed by btagent
+// shard processes over TCP. It applies sequenced batches exactly once,
+// acknowledges durable progress, and — once every declared shard has
+// delivered all of its data and its Done frame — prints the merged campaign
+// report (Tables 2, 3, the Table 4 column and the §6 scalars) in exactly
+// the format `btcampaign -stream` prints for the same seeds, which is the
+// bit-identity the multi-process smoke test asserts.
+//
+// With -checkpoint the sink periodically persists its full aggregation
+// state (atomic rename) and acknowledges only checkpoint-covered batches:
+// kill it at any instant, restart it with the same flags, and the agents
+// resume from the last checkpoint to the same digits. See PROTOCOL.md for
+// the wire format and OPERATIONS.md for a crash-resume walkthrough.
+//
+// Usage:
+//
+//	btsink [flags]
+//
+// Flags:
+//
+//	-addr ADDR           TCP listen address (default 127.0.0.1:9310)
+//	-seed N              campaign seed (default 1); must match the agents'
+//	-days D              virtual campaign days 1..540 (default 4); must match
+//	-scenario 1..4       recovery regime (default 3); must match the agents'
+//	-checkpoint FILE     enable durable checkpoints at FILE (resumes from it
+//	                     when it already exists; empty disables durability)
+//	-checkpoint-every N  batch frames between checkpoints (default 64)
+//	-timeout D           campaign completion timeout, e.g. 30m (default 0:
+//	                     wait forever)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	btpan "repro"
+	"repro/internal/collector"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9310", "TCP listen address")
+	seed := flag.Uint64("seed", 1, "campaign seed (must match the agents)")
+	days := flag.Int("days", 4, "virtual campaign days 1..540 (must match the agents)")
+	scenario := flag.Int("scenario", int(btpan.ScenarioSIRAs),
+		"recovery scenario 1..4 (must match the agents)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file (empty disables durability)")
+	every := flag.Int("checkpoint-every", 64, "batch frames between checkpoints")
+	timeout := flag.Duration("timeout", 0, "campaign completion timeout (0 = forever)")
+	flag.Parse()
+
+	if *days < 1 || *days > 540 {
+		fatal(fmt.Errorf("-days %d out of range 1..540", *days))
+	}
+	cfg := btpan.CampaignConfig{
+		Seed:      *seed,
+		Duration:  sim.Time(*days) * sim.Day,
+		Scenario:  btpan.Scenario(*scenario),
+		Streaming: true,
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	sink, err := collector.NewSink(collector.SinkConfig{
+		Addr: *addr,
+		Campaign: collector.CampaignID{Seed: *seed, Duration: cfg.Duration,
+			Scenario: *scenario},
+		Spec:           testbed.CampaignStreamSpec(),
+		CheckpointPath: *checkpoint, CheckpointEvery: *every,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	resumed := ""
+	if *checkpoint != "" {
+		if _, statErr := os.Stat(*checkpoint); statErr == nil {
+			resumed = ", resumed from checkpoint"
+		}
+	}
+	fmt.Fprintf(os.Stderr, "btsink: listening on %s (seed %d, %v, scenario %q%s)\n",
+		sink.Addr(), *seed, cfg.Duration, cfg.Scenario, resumed)
+
+	start := time.Now()
+	rep, err := sink.Wait(*timeout)
+	if err != nil {
+		sink.Close()
+		fatal(err)
+	}
+	res, err := btpan.ResultFromAggregates(cfg, rep.Agg, rep.Counters, rep.Durations)
+	if err != nil {
+		sink.Close()
+		fatal(err)
+	}
+	btpan.WriteReport(os.Stdout, res)
+	applied, dups, rejected := sink.Stats()
+	fmt.Fprintf(os.Stderr, "btsink: campaign complete in %v (%d batches applied, %d duplicates filtered, %d rejected)\n",
+		time.Since(start).Round(time.Millisecond), applied, dups, rejected)
+	if err := sink.Close(); err != nil {
+		fatal(err)
+	}
+	if rep.Agg.SeqGaps > 0 || rep.Agg.DroppedRecords > 0 {
+		fatal(fmt.Errorf("data loss: %d sequence gaps, %d dropped records",
+			rep.Agg.SeqGaps, rep.Agg.DroppedRecords))
+	}
+}
+
+// fatal prints the error and exits non-zero.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "btsink:", err)
+	os.Exit(1)
+}

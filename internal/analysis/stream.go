@@ -280,22 +280,46 @@ func (s *Streamer) Ingest(testbed, node string, reports []core.UserReport,
 // connections. seq 0 bypasses sequencing.
 func (s *Streamer) IngestSeq(testbed, node string, reports []core.UserReport,
 	entries []core.SystemEntry, watermark sim.Time, seq uint64) error {
+	_, err := s.ingestSeq(testbed, node, reports, entries, watermark, seq, false)
+	return err
+}
+
+// OfferSeq is IngestSeq for at-least-once transports: a batch whose sequence
+// number was already applied or is already parked is a duplicate — the
+// normal consequence of retransmitting after a lost acknowledgement — and is
+// ignored rather than treated as a peer error. It reports whether the batch
+// was accepted (applied or parked); a duplicate returns (false, nil).
+func (s *Streamer) OfferSeq(testbed, node string, reports []core.UserReport,
+	entries []core.SystemEntry, watermark sim.Time, seq uint64) (bool, error) {
+	return s.ingestSeq(testbed, node, reports, entries, watermark, seq, true)
+}
+
+// ingestSeq implements IngestSeq/OfferSeq; tolerant selects the duplicate
+// policy.
+func (s *Streamer) ingestSeq(testbed, node string, reports []core.UserReport,
+	entries []core.SystemEntry, watermark sim.Time, seq uint64, tolerant bool) (bool, error) {
 	sh, ok := s.shards[shardKey{testbed, node}]
 	if !ok {
-		return fmt.Errorf("analysis: ingest for undeclared stream %s/%s", testbed, node)
+		return false, fmt.Errorf("analysis: ingest for undeclared stream %s/%s", testbed, node)
 	}
 	sh.mu.Lock()
+	accepted := true
 	var err error
 	switch {
 	case sh.closed:
+		accepted = false
 		err = fmt.Errorf("analysis: stream %s/%s ingested after finalize", testbed, node)
 	case seq == 0:
 		err = s.applyLocked(sh, reports, entries, watermark)
 	case seq < sh.nextSeq:
-		err = fmt.Errorf("analysis: stream %s/%s replayed batch seq %d (next is %d)",
-			testbed, node, seq, sh.nextSeq)
+		accepted = false
+		if !tolerant {
+			err = fmt.Errorf("analysis: stream %s/%s replayed batch seq %d (next is %d)",
+				testbed, node, seq, sh.nextSeq)
+		}
 	case seq > sh.nextSeq:
 		if len(sh.parked) >= maxParkedBatches {
+			accepted = false
 			err = fmt.Errorf("analysis: stream %s/%s ran %d batches ahead of missing seq %d",
 				testbed, node, len(sh.parked), sh.nextSeq)
 			break
@@ -304,7 +328,10 @@ func (s *Streamer) IngestSeq(testbed, node string, reports []core.UserReport,
 			sh.parked = make(map[uint64]parkedBatch)
 		}
 		if _, dup := sh.parked[seq]; dup {
-			err = fmt.Errorf("analysis: stream %s/%s replayed parked batch seq %d", testbed, node, seq)
+			accepted = false
+			if !tolerant {
+				err = fmt.Errorf("analysis: stream %s/%s replayed parked batch seq %d", testbed, node, seq)
+			}
 			break
 		}
 		sh.parked[seq] = parkedBatch{reports: reports, entries: entries, watermark: watermark}
@@ -322,10 +349,25 @@ func (s *Streamer) IngestSeq(testbed, node string, reports []core.UserReport,
 	}
 	sh.mu.Unlock()
 	if err != nil {
-		return err
+		return false, err
 	}
-	s.maybeFold()
-	return nil
+	if accepted {
+		s.maybeFold()
+	}
+	return accepted, nil
+}
+
+// Cursor reports one stream's contiguous applied sequence number (0 before
+// the first sequenced batch) and current watermark — the state transport
+// acknowledgements and resume handshakes are built from.
+func (s *Streamer) Cursor(testbed, node string) (seq uint64, watermark sim.Time, err error) {
+	sh, ok := s.shards[shardKey{testbed, node}]
+	if !ok {
+		return 0, 0, fmt.Errorf("analysis: cursor for undeclared stream %s/%s", testbed, node)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.nextSeq - 1, sim.Time(sh.watermark.Load()), nil
 }
 
 // applyLocked merges one in-order batch into the shard. Caller holds sh.mu.

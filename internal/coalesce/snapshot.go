@@ -1,0 +1,144 @@
+package coalesce
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Checkpoint snapshots for the streaming coalescence state: a collection
+// sink that is killed mid-campaign must persist both the accumulated
+// Evidence and every StreamRelator's in-flight window (the failures and
+// entries still inside the matching radius), or the restored run would
+// re-derive different Table 2 evidence than an uninterrupted one. Snapshots
+// are exact: restoring and continuing the stream produces bit-identical
+// Evidence (see the checkpoint round-trip tests in internal/analysis).
+
+// EvidenceCell is one (failure, source, locality) relationship count of an
+// EvidenceSnapshot.
+type EvidenceCell struct {
+	Failure  core.UserFailure `json:"failure"`
+	Source   core.SysSource   `json:"source"`
+	Locality Locality         `json:"locality"`
+	Count    int              `json:"count"`
+}
+
+// EvidenceSnapshot is the serializable state of an Evidence accumulator.
+// Cells are sorted by (failure, source, locality) so snapshot bytes are
+// deterministic for a given state.
+type EvidenceSnapshot struct {
+	Cells          []EvidenceCell           `json:"cells,omitempty"`
+	FailureTotals  map[core.UserFailure]int `json:"failure_totals,omitempty"`
+	NoRelationship map[core.UserFailure]int `json:"no_relationship,omitempty"`
+	TotalFailures  int                      `json:"total_failures"`
+}
+
+// Snapshot captures the evidence counts.
+func (ev *Evidence) Snapshot() *EvidenceSnapshot {
+	snap := &EvidenceSnapshot{
+		FailureTotals:  make(map[core.UserFailure]int, len(ev.FailureTotals)),
+		NoRelationship: make(map[core.UserFailure]int, len(ev.NoRelationship)),
+		TotalFailures:  ev.TotalFailures,
+	}
+	for k, n := range ev.Counts {
+		snap.Cells = append(snap.Cells, EvidenceCell{Failure: k.Failure, Source: k.Source,
+			Locality: k.Locality, Count: n})
+	}
+	sort.Slice(snap.Cells, func(i, j int) bool {
+		a, b := snap.Cells[i], snap.Cells[j]
+		if a.Failure != b.Failure {
+			return a.Failure < b.Failure
+		}
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		return a.Locality < b.Locality
+	})
+	for f, n := range ev.FailureTotals {
+		snap.FailureTotals[f] = n
+	}
+	for f, n := range ev.NoRelationship {
+		snap.NoRelationship[f] = n
+	}
+	return snap
+}
+
+// RestoreInto loads the snapshot into ev, replacing its current contents.
+// Restoring in place (rather than allocating a fresh Evidence) keeps every
+// StreamRelator wired to the same accumulator across a restore.
+func (snap *EvidenceSnapshot) RestoreInto(ev *Evidence) error {
+	ev.Counts = make(map[EvidenceKey]int, len(snap.Cells))
+	ev.FailureTotals = make(map[core.UserFailure]int, len(snap.FailureTotals))
+	ev.NoRelationship = make(map[core.UserFailure]int, len(snap.NoRelationship))
+	ev.TotalFailures = snap.TotalFailures
+	for _, c := range snap.Cells {
+		key := EvidenceKey{Failure: c.Failure, Source: c.Source, Locality: c.Locality}
+		if _, dup := ev.Counts[key]; dup {
+			return fmt.Errorf("coalesce: duplicate evidence cell %+v in snapshot", key)
+		}
+		ev.Counts[key] = c.Count
+	}
+	for f, n := range snap.FailureTotals {
+		ev.FailureTotals[f] = n
+	}
+	for f, n := range snap.NoRelationship {
+		ev.NoRelationship[f] = n
+	}
+	return nil
+}
+
+// PendingFailureSnapshot is one in-radius failure of a RelatorSnapshot.
+type PendingFailureSnapshot struct {
+	At      sim.Time         `json:"at"`
+	Failure core.UserFailure `json:"failure"`
+	Found   bool             `json:"found"`
+}
+
+// RecentEntrySnapshot is one in-radius system entry of a RelatorSnapshot.
+type RecentEntrySnapshot struct {
+	At       sim.Time       `json:"at"`
+	Source   core.SysSource `json:"source"`
+	Locality Locality       `json:"locality"`
+}
+
+// RelatorSnapshot is the serializable in-flight state of one StreamRelator:
+// the stream edge plus every event still inside the matching radius. The
+// accumulated Evidence is shared across relators and snapshotted separately.
+type RelatorSnapshot struct {
+	Started bool                     `json:"started"`
+	Last    sim.Time                 `json:"last"`
+	Fails   []PendingFailureSnapshot `json:"fails,omitempty"`
+	Sys     []RecentEntrySnapshot    `json:"sys,omitempty"`
+}
+
+// Snapshot captures the relator's stream position and pending window.
+func (s *StreamRelator) Snapshot() *RelatorSnapshot {
+	snap := &RelatorSnapshot{Started: s.started, Last: s.last}
+	for _, f := range s.fails {
+		snap.Fails = append(snap.Fails, PendingFailureSnapshot{At: f.at, Failure: f.f, Found: f.found})
+	}
+	for _, e := range s.sys {
+		snap.Sys = append(snap.Sys, RecentEntrySnapshot{At: e.at, Source: e.src, Locality: e.loc})
+	}
+	return snap
+}
+
+// RestoreStreamRelator rebuilds a relator mid-stream: ev, napNode, window
+// and radius must match the original construction (they live in the stream
+// spec, not the snapshot), and the snapshot supplies the in-flight state.
+// Feeding the restored relator the remainder of the stream produces exactly
+// the Evidence an uninterrupted relator would have.
+func RestoreStreamRelator(ev *Evidence, napNode string, window, radius sim.Time,
+	snap *RelatorSnapshot) *StreamRelator {
+	s := NewStreamRelator(ev, napNode, window, radius)
+	s.started, s.last = snap.Started, snap.Last
+	for _, f := range snap.Fails {
+		s.fails = append(s.fails, pendingFailure{at: f.At, f: f.Failure, found: f.Found})
+	}
+	for _, e := range snap.Sys {
+		s.sys = append(s.sys, recentEntry{at: e.At, src: e.Source, loc: e.Locality})
+	}
+	return s
+}

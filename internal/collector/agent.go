@@ -1,0 +1,469 @@
+package collector
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Agent is the distributed collection plane's uplink: it runs inside a
+// testbed-shard process (cmd/btagent), accepts that shard's periodic log
+// drains through Ingest — the same call shape a local analysis.Streamer
+// takes, so a testbed streams to either without knowing which — stamps each
+// drain with the stream's next sequence number, and ships it to the sink as
+// a binary batch frame over TCP.
+//
+// Delivery is at-least-once on top of a lossy path: every batch stays
+// buffered until the sink acknowledges it (cumulatively, per stream), a
+// connection loss triggers reconnect-and-resume from the sink's Resume
+// cursors, and an acknowledgement stall triggers go-back-N retransmission
+// of everything unacknowledged. The sink deduplicates by sequence number,
+// so duplicates arising from retransmission are harmless by construction.
+type Agent struct {
+	cfg AgentConfig
+	inj *faultInjector
+
+	mu           sync.Mutex
+	streams      map[string]*agentStream
+	order        []string
+	done         *Done // set by Finish; resent once per connection
+	err          error // first fatal protocol error
+	lastProgress time.Time
+	sent         int // data frames handed to the fault injector
+	retransmits  int // frames sent again after an earlier send
+
+	work      chan struct{}
+	closed    chan struct{}
+	fin       chan struct{}
+	closeOnce sync.Once
+	finOnce   sync.Once
+	wg        sync.WaitGroup
+}
+
+// AgentConfig configures an Agent.
+type AgentConfig struct {
+	// Addr is the sink's TCP address.
+	Addr string
+	// Campaign identifies the campaign; the sink refuses the session when
+	// it differs from its own (node lists alone cannot tell campaigns
+	// apart, so seed/duration/scenario mismatches would otherwise merge
+	// silently).
+	Campaign CampaignID
+	// Testbed names the shard; Nodes its streams (must match the sink's
+	// spec for this testbed).
+	Testbed string
+	Nodes   []string
+	// Codec selects the data frame encoding (zero value: binary).
+	Codec Codec
+	// Fault optionally injects deterministic loss/duplication/reordering/
+	// delay into outgoing data frames (see FaultConfig).
+	Fault FaultConfig
+	// DialTimeout bounds one connection attempt (default 2 s).
+	DialTimeout time.Duration
+	// RetryEvery paces reconnection attempts while the sink is unreachable
+	// (default 100 ms). The agent retries until Close or Finish timeout —
+	// a crashed sink is expected to come back with its checkpoint.
+	RetryEvery time.Duration
+	// StallTimeout triggers go-back-N retransmission when unacknowledged
+	// batches exist and no acknowledgement progress happened for this long
+	// (default 500 ms).
+	StallTimeout time.Duration
+}
+
+// agentStream is one node's send state.
+type agentStream struct {
+	node     string
+	last     uint64   // last assigned sequence number
+	acked    uint64   // cumulatively acknowledged by the sink
+	sentUpTo uint64   // send cursor on the current connection
+	maxSent  uint64   // highest sequence ever sent (retransmit accounting)
+	buf      []*Batch // unacknowledged batches, sequences acked+1..last
+}
+
+// NewAgent builds the uplink and starts its connection loop.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.Addr == "" || cfg.Testbed == "" || len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("collector: agent needs an address, a testbed and nodes")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.RetryEvery <= 0 {
+		cfg.RetryEvery = 100 * time.Millisecond
+	}
+	if cfg.StallTimeout <= 0 {
+		cfg.StallTimeout = 500 * time.Millisecond
+	}
+	a := &Agent{
+		cfg:     cfg,
+		inj:     newFaultInjector(cfg.Fault),
+		streams: make(map[string]*agentStream, len(cfg.Nodes)),
+		work:    make(chan struct{}, 1),
+		closed:  make(chan struct{}),
+		fin:     make(chan struct{}),
+	}
+	for _, node := range cfg.Nodes {
+		if _, dup := a.streams[node]; dup {
+			return nil, fmt.Errorf("collector: agent declares node %q twice", node)
+		}
+		a.streams[node] = &agentStream{node: node}
+		a.order = append(a.order, node)
+	}
+	a.wg.Add(1)
+	go a.run()
+	return a, nil
+}
+
+// signal nudges the writer without blocking.
+func (a *Agent) signal() {
+	select {
+	case a.work <- struct{}{}:
+	default:
+	}
+}
+
+// fatal records the first unrecoverable protocol error and stops the agent.
+func (a *Agent) fatal(err error) {
+	a.mu.Lock()
+	if a.err == nil {
+		a.err = err
+	}
+	a.mu.Unlock()
+	a.closeOnce.Do(func() { close(a.closed) })
+}
+
+// Err reports the agent's fatal error, if any.
+func (a *Agent) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
+// Ingest accepts one drain of a node's logs — the testbed's streaming
+// collection callback. The batch is stamped with the stream's next sequence
+// number, buffered until acknowledged, and shipped asynchronously: Ingest
+// never blocks on the network, so a sink outage stalls shipping, not the
+// campaign (buffered batches grow with the outage; they drain on resume).
+func (a *Agent) Ingest(testbed, node string, reports []core.UserReport,
+	entries []core.SystemEntry, watermark sim.Time) error {
+	if testbed != a.cfg.Testbed {
+		return fmt.Errorf("collector: agent for %q got a %q drain", a.cfg.Testbed, testbed)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.err != nil {
+		return a.err
+	}
+	if a.done != nil {
+		return fmt.Errorf("collector: ingest after Finish")
+	}
+	st, ok := a.streams[node]
+	if !ok {
+		return fmt.Errorf("collector: agent for %q got a drain for undeclared node %q",
+			a.cfg.Testbed, node)
+	}
+	st.last++
+	st.buf = append(st.buf, &Batch{
+		Node: node, Testbed: testbed,
+		Reports: reports, Entries: entries,
+		Watermark: watermark, Seq: st.last,
+	})
+	a.signal()
+	return nil
+}
+
+// Finish declares the shard complete: no more Ingest calls will come. It
+// ships the Done frame — the final per-stream cursors plus the shard's
+// workload counter snapshots and campaign duration — and blocks until the
+// sink confirms with Fin that every batch up to those cursors is durable,
+// or the timeout expires. A zero timeout waits indefinitely.
+func (a *Agent) Finish(counters map[string]*workload.CountersSnapshot, duration sim.Time,
+	timeout time.Duration) error {
+	a.mu.Lock()
+	if a.err != nil {
+		err := a.err
+		a.mu.Unlock()
+		return err
+	}
+	if a.done == nil {
+		done := &Done{Testbed: a.cfg.Testbed, Duration: duration, Counters: counters}
+		for _, node := range a.order {
+			done.Final = append(done.Final, StreamCursor{Node: node, Seq: a.streams[node].last})
+		}
+		a.done = done
+	}
+	a.mu.Unlock()
+	a.signal()
+
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
+	select {
+	case <-a.fin:
+		return nil
+	case <-a.closed:
+		if err := a.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("collector: agent closed before the sink confirmed completion")
+	case <-timeoutCh:
+		return fmt.Errorf("collector: sink did not confirm completion within %v", timeout)
+	}
+}
+
+// Stats reports transport counters: data frames sent (before fault
+// injection) and frames that were retransmissions of an earlier send.
+func (a *Agent) Stats() (sent, retransmits int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sent, a.retransmits
+}
+
+// Close stops the agent without waiting for acknowledgements (tests and
+// error paths; the normal shutdown is Finish).
+func (a *Agent) Close() {
+	a.closeOnce.Do(func() { close(a.closed) })
+	a.wg.Wait()
+}
+
+// run is the connection loop: dial, session, reconnect — until closed or
+// finished.
+func (a *Agent) run() {
+	defer a.wg.Done()
+	for {
+		select {
+		case <-a.closed:
+			return
+		case <-a.fin:
+			return
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", a.cfg.Addr, a.cfg.DialTimeout)
+		if err != nil {
+			select {
+			case <-a.closed:
+				return
+			case <-time.After(a.cfg.RetryEvery):
+			}
+			continue
+		}
+		a.session(conn)
+		conn.Close()
+	}
+}
+
+// session drives one connection: handshake, then ship until it breaks.
+func (a *Agent) session(conn net.Conn) {
+	hello := Hello{Campaign: a.cfg.Campaign, Testbed: a.cfg.Testbed, Nodes: a.order}
+	if err := writeControl(conn, frameHello, hello); err != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	fr, err := ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	if fr.Kind == KindReject {
+		// A misconfigured deployment (campaign or shard mismatch) must fail
+		// loudly, not retry forever.
+		a.fatal(fmt.Errorf("collector: sink refused session: %s", fr.Reject.Reason))
+		return
+	}
+	if fr.Kind != KindResume {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	if !a.applyResume(fr.Resume) {
+		return
+	}
+
+	readerDone := make(chan struct{})
+	go a.reader(conn, readerDone)
+
+	ticker := time.NewTicker(a.cfg.StallTimeout / 2)
+	defer ticker.Stop()
+	doneSent := false
+	for {
+		batches, done := a.collect(&doneSent)
+		for _, b := range batches {
+			raw, err := encodeBatchFrame(b, a.cfg.Codec)
+			if err != nil {
+				a.fatal(err)
+				return
+			}
+			outs, delay := a.inj.apply(raw)
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			for _, o := range outs {
+				conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+				if _, err := conn.Write(o); err != nil {
+					return
+				}
+			}
+		}
+		if done != nil {
+			if h := a.inj.flush(); h != nil {
+				conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+				if _, err := conn.Write(h); err != nil {
+					return
+				}
+			}
+			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			if err := writeControl(conn, frameDone, done); err != nil {
+				return
+			}
+		}
+		select {
+		case <-a.work:
+		case <-ticker.C:
+			a.maybeStallReset()
+		case <-readerDone:
+			return
+		case <-a.fin:
+			return
+		case <-a.closed:
+			return
+		}
+	}
+}
+
+// applyResume aligns the send state with the sink's acknowledged cursors.
+// A cursor behind what the sink already acknowledged means the sink lost
+// its durable state (restarted without its checkpoint): the buffered copies
+// of the acknowledged batches are gone, the campaign cannot be made whole,
+// and the agent fails loudly rather than shipping a silently truncated
+// stream.
+func (a *Agent) applyResume(res *Resume) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	seen := make(map[string]bool, len(res.Cursors))
+	for _, c := range res.Cursors {
+		st, ok := a.streams[c.Node]
+		if !ok {
+			continue // cursor for a stream this agent does not ship
+		}
+		seen[st.node] = true
+		if c.Seq < st.acked {
+			a.err = fmt.Errorf("collector: sink resumed %s/%s at seq %d below acknowledged %d "+
+				"(checkpoint lost?)", a.cfg.Testbed, st.node, c.Seq, st.acked)
+			a.closeOnce.Do(func() { close(a.closed) })
+			return false
+		}
+		a.pruneLocked(st, c.Seq)
+		st.sentUpTo = st.acked
+	}
+	for _, st := range a.streams {
+		if !seen[st.node] {
+			a.err = fmt.Errorf("collector: sink resume is missing stream %s/%s",
+				a.cfg.Testbed, st.node)
+			a.closeOnce.Do(func() { close(a.closed) })
+			return false
+		}
+	}
+	a.lastProgress = time.Now()
+	return true
+}
+
+// pruneLocked drops buffered batches covered by a cumulative ack. Caller
+// holds mu.
+func (a *Agent) pruneLocked(st *agentStream, acked uint64) {
+	if acked <= st.acked {
+		return
+	}
+	drop := int(acked - st.acked)
+	if drop > len(st.buf) {
+		drop = len(st.buf)
+	}
+	st.buf = st.buf[:copy(st.buf, st.buf[drop:])]
+	st.acked = acked
+	if st.sentUpTo < st.acked {
+		st.sentUpTo = st.acked
+	}
+}
+
+// collect gathers the batches to send now (everything assigned but not yet
+// sent on this connection) and, once all data is on the wire and Finish was
+// requested, the Done frame to follow it.
+func (a *Agent) collect(doneSent *bool) ([]*Batch, *Done) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []*Batch
+	for _, node := range a.order {
+		st := a.streams[node]
+		for seq := st.sentUpTo + 1; seq <= st.last; seq++ {
+			b := st.buf[int(seq-st.acked-1)]
+			out = append(out, b)
+			a.sent++
+			if seq <= st.maxSent {
+				a.retransmits++
+			} else {
+				st.maxSent = seq
+			}
+		}
+		st.sentUpTo = st.last
+	}
+	// Once Finish has been requested, every known batch is in this same
+	// write burst, so Done may ride right behind the data.
+	if a.done != nil && !*doneSent {
+		*doneSent = true
+		return out, a.done
+	}
+	return out, nil
+}
+
+// maybeStallReset rewinds the send cursors to the acknowledged positions
+// when acknowledgements have stalled, forcing go-back-N retransmission of
+// everything in flight (the recovery path for frames lost to the network).
+func (a *Agent) maybeStallReset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	unacked := false
+	for _, st := range a.streams {
+		if st.last > st.acked {
+			unacked = true
+			break
+		}
+	}
+	if !unacked || time.Since(a.lastProgress) < a.cfg.StallTimeout {
+		return
+	}
+	for _, st := range a.streams {
+		st.sentUpTo = st.acked
+	}
+	a.lastProgress = time.Now()
+	a.signal()
+}
+
+// reader consumes the sink's acknowledgements and the final Fin.
+func (a *Agent) reader(conn net.Conn, done chan struct{}) {
+	defer close(done)
+	for {
+		fr, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		switch fr.Kind {
+		case KindAck:
+			a.mu.Lock()
+			if st, ok := a.streams[fr.Ack.Node]; ok && fr.Ack.Seq > st.acked {
+				a.pruneLocked(st, fr.Ack.Seq)
+				a.lastProgress = time.Now()
+			}
+			a.mu.Unlock()
+		case KindFin:
+			a.finOnce.Do(func() { close(a.fin) })
+			return
+		default:
+			return // protocol violation; reconnect
+		}
+	}
+}

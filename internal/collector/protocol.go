@@ -22,6 +22,18 @@
 // cadence rather than the campaign length). Batches lost in transit are
 // surfaced, never swallowed: rejected batches count in
 // Repository.Rejected and unfilled sequence gaps in Aggregates.SeqGaps.
+//
+// The distributed collection plane (Agent, Sink and the control-frame
+// session protocol in transport.go; cmd/btagent and cmd/btsink wrap them
+// as daemons) runs the same machinery across real OS processes with
+// at-least-once delivery: per-stream sequence cursors, cumulative
+// acknowledgements, reconnect-and-resume handshakes, go-back-N
+// retransmission, seeded fault injection for measuring the plane under an
+// adversarial network, and durable sink checkpoints for crash recovery.
+// The wire format — frame layout, codec tag/kind byte, varint/zigzag
+// encoding, string interning, watermark/sequence semantics, the resume
+// handshake and the loss-accounting rules — is specified normatively in
+// PROTOCOL.md at the repository root; OPERATIONS.md documents deployments.
 package collector
 
 import (

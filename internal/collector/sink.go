@@ -1,0 +1,562 @@
+package collector
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Sink is the distributed collection plane's repository process
+// (cmd/btsink): it hosts the streaming aggregator for a declared campaign
+// spec, accepts agent sessions over TCP, applies their sequenced batches
+// exactly once (duplicates from retransmission are filtered by sequence
+// number), and acknowledges durable progress.
+//
+// With a checkpoint path configured the sink periodically serializes the
+// full live aggregation state — analysis.StreamerCheckpoint plus the
+// counters and completion bookkeeping — to disk with an atomic rename, and
+// acknowledges only checkpoint-covered batches. A killed sink restarted on
+// the same checkpoint file resumes exactly where the last checkpoint left
+// off; agents reconnect, learn the durable cursors from the Resume
+// handshake, retransmit the tail, and the campaign completes with tables
+// bit-identical to an uninterrupted run (pinned by TestDistributedResume).
+type Sink struct {
+	cfg SinkConfig
+	ln  net.Listener
+	str *analysis.Streamer
+
+	mu        sync.Mutex
+	ackable   map[skey]StreamCursor // what sessions may acknowledge
+	finals    map[string][]StreamCursor
+	counters  map[string]map[string]*workload.CountersSnapshot
+	durations map[string]sim.Time
+	finished  map[string]bool
+	sessions  map[string]*sinkSession // latest session per testbed
+	conns     map[net.Conn]bool
+	sinceCP   int
+	agg       *analysis.Aggregates // set at completion
+	closed    bool
+
+	applied     int // batches applied (first delivery)
+	duplicates  int // batch frames filtered as retransmitted duplicates
+	rejected    int // batch frames refused as protocol errors
+	ckptFails   int // checkpoint write failures (disk trouble, not protocol)
+	lastCkptErr error
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// SinkConfig configures a Sink.
+type SinkConfig struct {
+	// Addr is the TCP listen address ("127.0.0.1:0" for an ephemeral port).
+	Addr string
+	// Campaign identifies the campaign: sessions from agents of a
+	// different campaign are refused, and a checkpoint file recorded under
+	// a different campaign is never silently substituted.
+	Campaign CampaignID
+	// Spec declares the campaign's streams; it must match what the agents
+	// run (the single-process equivalent's testbed.Campaign.StreamSpec).
+	Spec analysis.StreamSpec
+	// CheckpointPath enables durable checkpoints at this file; empty runs
+	// the sink in memory only (acknowledgements then cover applied batches
+	// immediately, and a crash loses the campaign).
+	CheckpointPath string
+	// CheckpointEvery is the number of received batch frames between
+	// checkpoints (default 64; 1 checkpoints after every frame).
+	CheckpointEvery int
+}
+
+// skey identifies one stream.
+type skey struct{ testbed, node string }
+
+// sinkSession serializes writes to one agent connection (acknowledgements
+// and Fin can be written from another session's completion path).
+type sinkSession struct {
+	conn net.Conn
+	wmu  sync.Mutex
+}
+
+// send writes one control frame to the session's connection.
+func (s *sinkSession) send(kind byte, payload any) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	return writeControl(s.conn, kind, payload)
+}
+
+// sinkCheckpoint is the sink's on-disk state: the campaign identity, the
+// full live aggregation state, and the session-protocol bookkeeping that
+// must survive a crash.
+type sinkCheckpoint struct {
+	Campaign  CampaignID                                       `json:"campaign"`
+	Streamer  *analysis.StreamerCheckpoint                     `json:"streamer"`
+	Finals    map[string][]StreamCursor                        `json:"finals,omitempty"`
+	Counters  map[string]map[string]*workload.CountersSnapshot `json:"counters,omitempty"`
+	Durations map[string]sim.Time                              `json:"durations,omitempty"`
+}
+
+// SinkReport is the completed campaign as seen by the sink: the finalized
+// aggregates plus the per-testbed counters and durations shipped in the
+// agents' Done frames.
+type SinkReport struct {
+	Agg       *analysis.Aggregates
+	Counters  map[string]map[string]*workload.Counters
+	Durations map[string]sim.Time
+}
+
+// NewSink starts the sink. If the configured checkpoint file exists, the
+// sink resumes from it instead of starting an empty campaign.
+func NewSink(cfg SinkConfig) (*Sink, error) {
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 64
+	}
+	s := &Sink{
+		cfg:       cfg,
+		ackable:   make(map[skey]StreamCursor),
+		finals:    make(map[string][]StreamCursor),
+		counters:  make(map[string]map[string]*workload.CountersSnapshot),
+		durations: make(map[string]sim.Time),
+		finished:  make(map[string]bool),
+		sessions:  make(map[string]*sinkSession),
+		conns:     make(map[net.Conn]bool),
+		done:      make(chan struct{}),
+	}
+	if cfg.CheckpointPath != "" {
+		if blob, err := os.ReadFile(cfg.CheckpointPath); err == nil {
+			var cp sinkCheckpoint
+			if err := json.Unmarshal(blob, &cp); err != nil {
+				return nil, fmt.Errorf("collector: corrupt sink checkpoint %s: %w", cfg.CheckpointPath, err)
+			}
+			if cp.Campaign != cfg.Campaign {
+				return nil, fmt.Errorf("collector: checkpoint %s is from a different campaign "+
+					"(seed %d, %v, scenario %d; this sink runs seed %d, %v, scenario %d) — "+
+					"delete it to start over", cfg.CheckpointPath,
+					cp.Campaign.Seed, cp.Campaign.Duration, cp.Campaign.Scenario,
+					cfg.Campaign.Seed, cfg.Campaign.Duration, cfg.Campaign.Scenario)
+			}
+			str, err := analysis.RestoreStreamer(cfg.Spec, cp.Streamer)
+			if err != nil {
+				return nil, fmt.Errorf("collector: restore sink checkpoint: %w", err)
+			}
+			s.str = str
+			s.loadCheckpointMeta(&cp)
+		} else if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("collector: read sink checkpoint: %w", err)
+		}
+	}
+	if s.str == nil {
+		str, err := analysis.NewStreamer(cfg.Spec)
+		if err != nil {
+			return nil, err
+		}
+		s.str = str
+		for _, tb := range cfg.Spec.Testbeds {
+			for _, node := range append(append([]string{}, tb.PANUs...), tb.NAP) {
+				s.ackable[skey{tb.Name, node}] = StreamCursor{Node: node}
+			}
+		}
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("collector: listen %s: %w", cfg.Addr, err)
+	}
+	s.ln = ln
+	s.checkCompletion() // a checkpoint taken after completion resumes complete
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// loadCheckpointMeta restores the ack cursors and completion bookkeeping
+// from a checkpoint.
+func (s *Sink) loadCheckpointMeta(cp *sinkCheckpoint) {
+	for i := range cp.Streamer.Shards {
+		sh := &cp.Streamer.Shards[i]
+		s.ackable[skey{sh.Testbed, sh.Node}] = StreamCursor{
+			Node: sh.Node, Seq: sh.NextSeq - 1, Watermark: sh.Watermark}
+	}
+	for tb, final := range cp.Finals {
+		s.finals[tb] = final
+	}
+	for tb, m := range cp.Counters {
+		s.counters[tb] = m
+	}
+	for tb, d := range cp.Durations {
+		s.durations[tb] = d
+	}
+}
+
+// Addr reports the listening address.
+func (s *Sink) Addr() string { return s.ln.Addr().String() }
+
+// Stats reports transport counters: batches applied for the first time,
+// duplicate frames filtered, and frames rejected as protocol errors.
+func (s *Sink) Stats() (applied, duplicates, rejected int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied, s.duplicates, s.rejected
+}
+
+// acceptLoop serves agent connections until Close/Abort.
+func (s *Sink) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+			conn.Close()
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// serve drives one agent session.
+func (s *Sink) serve(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	fr, err := ReadFrame(conn)
+	if err != nil || fr.Kind != KindHello {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	hello := fr.Hello
+	if hello.Campaign != s.cfg.Campaign {
+		writeControl(conn, frameReject, &Reject{Reason: fmt.Sprintf(
+			"campaign mismatch: agent runs seed %d, %v, scenario %d; sink runs seed %d, %v, scenario %d",
+			hello.Campaign.Seed, hello.Campaign.Duration, hello.Campaign.Scenario,
+			s.cfg.Campaign.Seed, s.cfg.Campaign.Duration, s.cfg.Campaign.Scenario)})
+		return
+	}
+	spec := s.testbedSpec(hello.Testbed)
+	if spec == nil || !nodesMatch(hello.Nodes, append(append([]string{}, spec.PANUs...), spec.NAP)) {
+		writeControl(conn, frameReject, &Reject{Reason: fmt.Sprintf(
+			"unknown shard %q or node set not in the sink's spec", hello.Testbed)})
+		return
+	}
+	sess := &sinkSession{conn: conn}
+	res := Resume{}
+	s.mu.Lock()
+	s.sessions[hello.Testbed] = sess
+	for _, node := range append(append([]string{}, spec.PANUs...), spec.NAP) {
+		res.Cursors = append(res.Cursors, s.ackable[skey{hello.Testbed, node}])
+	}
+	s.mu.Unlock()
+	if err := sess.send(frameResume, &res); err != nil {
+		return
+	}
+
+	for {
+		fr, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		switch fr.Kind {
+		case KindBatch:
+			if !s.handleBatch(sess, fr.Batch) {
+				return
+			}
+		case KindDone:
+			s.handleDone(fr.Done)
+		default:
+			return // protocol violation
+		}
+	}
+}
+
+// handleBatch applies one data frame and acknowledges the stream's durable
+// cursor. It reports whether the session should continue.
+func (s *Sink) handleBatch(sess *sinkSession, b *Batch) bool {
+	key := skey{b.Testbed, b.Node}
+	s.mu.Lock()
+	if s.finished[b.Testbed] || s.agg != nil {
+		// Late retransmission after completion: everything is durable
+		// already, just re-acknowledge.
+		cur := s.ackable[key]
+		s.mu.Unlock()
+		return sess.send(frameAck, &Ack{Node: b.Node, Seq: cur.Seq, Watermark: cur.Watermark}) == nil
+	}
+	s.mu.Unlock()
+
+	accepted, err := s.str.OfferSeq(b.Testbed, b.Node, b.Reports, b.Entries, b.Watermark, b.Seq)
+	s.mu.Lock()
+	if err != nil {
+		s.rejected++
+		s.mu.Unlock()
+		return false
+	}
+	if accepted {
+		s.applied++
+	} else {
+		s.duplicates++
+	}
+	s.sinceCP++
+	if s.cfg.CheckpointPath == "" {
+		// No durability layer: applied is acknowledgeable immediately.
+		seq, wm, err := s.str.Cursor(b.Testbed, b.Node)
+		if err == nil {
+			s.ackable[key] = StreamCursor{Node: b.Node, Seq: seq, Watermark: wm}
+		}
+	} else if s.sinceCP >= s.cfg.CheckpointEvery || s.donePendingLocked() {
+		// Endgame: once a shard has declared Done, every further frame is a
+		// retransmission filling the last gaps — checkpoint eagerly so the
+		// final acknowledgements (and Fin) go out without waiting for the
+		// cadence to come around.
+		if err := s.checkpointLocked(); err != nil {
+			// Disk trouble, not a peer error: record it where Wait's
+			// timeout diagnostics surface it, and drop the session so the
+			// agent keeps the unacknowledged batches for retransmission.
+			s.ckptFails++
+			s.lastCkptErr = err
+			s.mu.Unlock()
+			return false
+		}
+	}
+	cur := s.ackable[key]
+	s.mu.Unlock()
+	ok := sess.send(frameAck, &Ack{Node: b.Node, Seq: cur.Seq, Watermark: cur.Watermark}) == nil
+	s.checkCompletion()
+	return ok
+}
+
+// handleDone records a shard's completion claim: final cursors, counters,
+// duration. Completion is re-checked (and, when checkpointing, made durable
+// first).
+func (s *Sink) handleDone(d *Done) {
+	s.mu.Lock()
+	if s.finished[d.Testbed] {
+		// Re-sent Done after a reconnect: answer with Fin again.
+		sess := s.sessions[d.Testbed]
+		s.mu.Unlock()
+		if sess != nil {
+			sess.send(frameFin, &Fin{})
+		}
+		return
+	}
+	s.finals[d.Testbed] = d.Final
+	s.counters[d.Testbed] = d.Counters
+	s.durations[d.Testbed] = d.Duration
+	if s.cfg.CheckpointPath != "" {
+		if err := s.checkpointLocked(); err != nil {
+			s.ckptFails++
+			s.lastCkptErr = err
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.mu.Unlock()
+	s.checkCompletion()
+}
+
+// checkpointLocked serializes the full sink state to the checkpoint file
+// with an atomic rename, then advances the acknowledgeable cursors to what
+// the checkpoint covers. Caller holds mu.
+func (s *Sink) checkpointLocked() error {
+	cp, err := s.str.Checkpoint()
+	if err != nil {
+		return err
+	}
+	blob, err := json.Marshal(&sinkCheckpoint{Campaign: s.cfg.Campaign, Streamer: cp,
+		Finals: s.finals, Counters: s.counters, Durations: s.durations})
+	if err != nil {
+		return err
+	}
+	tmp := s.cfg.CheckpointPath + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.cfg.CheckpointPath); err != nil {
+		return err
+	}
+	s.sinceCP = 0
+	for i := range cp.Shards {
+		sh := &cp.Shards[i]
+		s.ackable[skey{sh.Testbed, sh.Node}] = StreamCursor{
+			Node: sh.Node, Seq: sh.NextSeq - 1, Watermark: sh.Watermark}
+	}
+	return nil
+}
+
+// donePendingLocked reports whether some shard has declared Done but is not
+// yet released. Caller holds mu.
+func (s *Sink) donePendingLocked() bool {
+	for tb := range s.finals {
+		if !s.finished[tb] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCompletion marks testbeds whose final cursors are fully
+// acknowledgeable, releases their agents with Fin, and finalizes the
+// campaign once every declared testbed is complete. The Fin frames go out
+// synchronously BEFORE the done channel closes: Wait returning (and the
+// Close that typically follows it) must never cut off the last agent's
+// release — the multi-process smoke caught exactly that race.
+func (s *Sink) checkCompletion() {
+	s.mu.Lock()
+	var fins []*sinkSession
+	for tb, final := range s.finals {
+		if s.finished[tb] {
+			continue
+		}
+		covered := true
+		for _, c := range final {
+			if s.ackable[skey{tb, c.Node}].Seq < c.Seq {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		s.finished[tb] = true
+		if sess := s.sessions[tb]; sess != nil {
+			fins = append(fins, sess)
+		}
+	}
+	complete := s.agg == nil && len(s.finished) == len(s.cfg.Spec.Testbeds) &&
+		len(s.cfg.Spec.Testbeds) > 0
+	if complete {
+		s.agg = s.str.Finalize()
+	}
+	s.mu.Unlock()
+	for _, sess := range fins {
+		sess.send(frameFin, &Fin{})
+	}
+	if complete {
+		close(s.done)
+	}
+}
+
+// testbedSpec finds the declared spec entry for a testbed name.
+func (s *Sink) testbedSpec(name string) *analysis.TestbedSpec {
+	for i := range s.cfg.Spec.Testbeds {
+		if s.cfg.Spec.Testbeds[i].Name == name {
+			return &s.cfg.Spec.Testbeds[i]
+		}
+	}
+	return nil
+}
+
+// nodesMatch reports set equality of two node lists.
+func nodesMatch(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[string]bool, len(a))
+	for _, n := range a {
+		set[n] = true
+	}
+	for _, n := range b {
+		if !set[n] {
+			return false
+		}
+	}
+	return len(set) == len(b)
+}
+
+// Wait blocks until every declared testbed has completed (all data durable
+// and Done received), then returns the finalized campaign report. A zero
+// timeout waits indefinitely.
+func (s *Sink) Wait(timeout time.Duration) (*SinkReport, error) {
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
+	select {
+	case <-s.done:
+	case <-timeoutCh:
+		s.mu.Lock()
+		applied, dups, rejected := s.applied, s.duplicates, s.rejected
+		ckptFails, ckptErr := s.ckptFails, s.lastCkptErr
+		s.mu.Unlock()
+		msg := fmt.Sprintf("collector: campaign incomplete after %v (%d applied, %d duplicates, %d rejected)",
+			timeout, applied, dups, rejected)
+		if ckptFails > 0 {
+			msg += fmt.Sprintf("; %d checkpoint write failures, last: %v", ckptFails, ckptErr)
+		}
+		return nil, fmt.Errorf("%s", msg)
+	}
+	rep := &SinkReport{
+		Agg:       s.agg,
+		Counters:  make(map[string]map[string]*workload.Counters),
+		Durations: make(map[string]sim.Time),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for tb, m := range s.counters {
+		rep.Counters[tb] = make(map[string]*workload.Counters, len(m))
+		for node, snap := range m {
+			c, err := workload.RestoreCounters(snap)
+			if err != nil {
+				return nil, fmt.Errorf("collector: counters for %s/%s: %w", tb, node, err)
+			}
+			rep.Counters[tb][node] = c
+		}
+	}
+	for tb, d := range s.durations {
+		rep.Durations[tb] = d
+	}
+	return rep, nil
+}
+
+// Close shuts the sink down gracefully: a final checkpoint (when configured
+// and the campaign is still running) followed by teardown.
+func (s *Sink) Close() error {
+	s.mu.Lock()
+	if !s.closed && s.cfg.CheckpointPath != "" && s.agg == nil {
+		_ = s.checkpointLocked()
+	}
+	s.mu.Unlock()
+	return s.shutdown()
+}
+
+// Abort kills the sink without a final checkpoint — the test double for
+// SIGKILL: only state already checkpointed survives into a restart.
+func (s *Sink) Abort() error { return s.shutdown() }
+
+// shutdown closes the listener and every live connection, then waits.
+func (s *Sink) shutdown() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}

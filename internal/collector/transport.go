@@ -1,0 +1,328 @@
+package collector
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The distributed collection plane's wire protocol, specified normatively in
+// PROTOCOL.md. Every frame shares the batch frame layout — a 4-byte
+// big-endian length prefix covering a kind byte plus payload — and the kind
+// byte space extends the data codec tags (0 binary, 1 JSON) with control
+// frames that carry the session protocol: an agent opens with Hello, the
+// sink answers with Resume (the per-stream acknowledged cursors the agent
+// must resume from), data batches flow as ordinary batch frames, the sink
+// acknowledges durable progress with Ack, the agent announces shard
+// completion with Done (final cursors + workload counters), and the sink
+// releases it with Fin once everything is durable.
+
+// Frame kinds beyond the data codec tags. Control payloads are JSON: they
+// are rare (one Hello/Resume/Done/Fin per session, one small Ack per applied
+// batch), and a debuggable handshake beats saving bytes there — the hot
+// path, record batches, stays on the binary codec.
+const (
+	frameHello  byte = 2
+	frameResume byte = 3
+	frameAck    byte = 4
+	frameDone   byte = 5
+	frameFin    byte = 6
+	frameReject byte = 7
+)
+
+// FrameKind classifies a decoded frame.
+type FrameKind int
+
+// Decoded frame kinds.
+const (
+	KindBatch FrameKind = iota
+	KindHello
+	KindResume
+	KindAck
+	KindDone
+	KindFin
+	KindReject
+)
+
+// CampaignID identifies the campaign every process of a deployment must
+// agree on. Node lists are identical across campaigns, so without this the
+// sink could silently merge shards of different seeds, durations or
+// scenarios into one meaningless report; the handshake refuses mismatches
+// instead, and checkpoints refuse restores from a different campaign.
+type CampaignID struct {
+	Seed     uint64   `json:"seed"`
+	Duration sim.Time `json:"duration"`
+	Scenario int      `json:"scenario"`
+}
+
+// Hello opens an agent session: it names the campaign, the testbed shard
+// and the streams the agent will ship (all of which must match the sink's
+// declared campaign and spec exactly).
+type Hello struct {
+	Campaign CampaignID `json:"campaign"`
+	Testbed  string     `json:"testbed"`
+	Nodes    []string   `json:"nodes"`
+}
+
+// Reject answers a Hello the sink cannot serve (campaign mismatch, unknown
+// shard, node set divergence). The agent treats it as fatal: a
+// misconfigured deployment must fail loudly, not retry forever.
+type Reject struct {
+	Reason string `json:"reason"`
+}
+
+// StreamCursor is one stream's position: the highest contiguously applied
+// (and, when checkpointing, durably checkpointed) sequence number and the
+// watermark that came with it.
+type StreamCursor struct {
+	Node      string   `json:"node"`
+	Seq       uint64   `json:"seq"`
+	Watermark sim.Time `json:"watermark"`
+}
+
+// Resume answers a Hello with every declared stream's acknowledged cursor;
+// the agent retransmits everything after these positions and discards its
+// buffered copies up to them.
+type Resume struct {
+	Cursors []StreamCursor `json:"cursors"`
+}
+
+// Ack acknowledges one stream's durable progress. Acks are cumulative: Seq
+// covers every batch up to and including it, and the agent may drop its
+// buffered copies. A checkpointing sink acknowledges only checkpoint-covered
+// batches — applied-but-not-yet-checkpointed work stays unacknowledged so a
+// crash can demand its retransmission.
+type Ack struct {
+	Node      string   `json:"node"`
+	Seq       uint64   `json:"seq"`
+	Watermark sim.Time `json:"watermark"`
+}
+
+// Done announces that the agent's shard finished its campaign: no new data
+// will be produced. Final carries each stream's last assigned sequence
+// number (how the sink knows whether retransmissions are still owed) and
+// Counters the per-client workload counters the §6 scalars and Figure 3a
+// need, which never travel through the record stream.
+type Done struct {
+	Testbed  string                                `json:"testbed"`
+	Duration sim.Time                              `json:"duration"`
+	Final    []StreamCursor                        `json:"final"`
+	Counters map[string]*workload.CountersSnapshot `json:"counters"`
+}
+
+// Fin releases a finished agent: every batch up to the final cursors is
+// durable and the session is over.
+type Fin struct{}
+
+// Frame is one decoded wire frame.
+type Frame struct {
+	Kind   FrameKind
+	Batch  *Batch
+	Hello  *Hello
+	Resume *Resume
+	Ack    *Ack
+	Done   *Done
+	Reject *Reject
+}
+
+// writeControl frames and writes one control payload (kind byte + JSON).
+func writeControl(w io.Writer, kind byte, payload any) error {
+	blob, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("collector: marshal control frame %d: %w", kind, err)
+	}
+	frame := make([]byte, 5, 5+len(blob))
+	binary.BigEndian.PutUint32(frame[:4], uint32(1+len(blob)))
+	frame[4] = kind
+	frame = append(frame, blob...)
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("collector: write control frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame of any kind, dispatching on the kind byte. io.EOF
+// is returned unchanged when the stream ends cleanly between frames.
+func ReadFrame(r io.Reader) (*Frame, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("collector: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 || n > maxBatchBytes {
+		return nil, fmt.Errorf("collector: implausible frame length %d", n)
+	}
+	if _, err := io.ReadFull(r, hdr[4:5]); err != nil {
+		return nil, fmt.Errorf("collector: read frame kind: %w", err)
+	}
+	blob := make([]byte, int(n)-1)
+	if _, err := io.ReadFull(r, blob); err != nil {
+		return nil, fmt.Errorf("collector: read frame body: %w", err)
+	}
+	switch hdr[4] {
+	case byte(CodecBinary):
+		b, err := decodeBinaryBatch(blob)
+		if err != nil {
+			return nil, err
+		}
+		return &Frame{Kind: KindBatch, Batch: b}, nil
+	case byte(CodecJSON):
+		var b Batch
+		if err := json.Unmarshal(blob, &b); err != nil {
+			return nil, fmt.Errorf("collector: decode batch: %w", err)
+		}
+		return &Frame{Kind: KindBatch, Batch: &b}, nil
+	case frameHello:
+		var h Hello
+		if err := json.Unmarshal(blob, &h); err != nil {
+			return nil, fmt.Errorf("collector: decode hello: %w", err)
+		}
+		return &Frame{Kind: KindHello, Hello: &h}, nil
+	case frameResume:
+		var res Resume
+		if err := json.Unmarshal(blob, &res); err != nil {
+			return nil, fmt.Errorf("collector: decode resume: %w", err)
+		}
+		return &Frame{Kind: KindResume, Resume: &res}, nil
+	case frameAck:
+		var a Ack
+		if err := json.Unmarshal(blob, &a); err != nil {
+			return nil, fmt.Errorf("collector: decode ack: %w", err)
+		}
+		return &Frame{Kind: KindAck, Ack: &a}, nil
+	case frameDone:
+		var d Done
+		if err := json.Unmarshal(blob, &d); err != nil {
+			return nil, fmt.Errorf("collector: decode done: %w", err)
+		}
+		return &Frame{Kind: KindDone, Done: &d}, nil
+	case frameFin:
+		return &Frame{Kind: KindFin}, nil
+	case frameReject:
+		var rej Reject
+		if err := json.Unmarshal(blob, &rej); err != nil {
+			return nil, fmt.Errorf("collector: decode reject: %w", err)
+		}
+		return &Frame{Kind: KindReject, Reject: &rej}, nil
+	default:
+		return nil, fmt.Errorf("collector: unknown frame kind %d", hdr[4])
+	}
+}
+
+// encodeBatchFrame renders a complete data frame (length prefix + codec tag
+// + payload) into a fresh buffer, so the fault injector can hold, duplicate
+// or drop whole frames.
+func encodeBatchFrame(b *Batch, codec Codec) ([]byte, error) {
+	frame := make([]byte, 5, 4096)
+	frame[4] = byte(codec)
+	switch codec {
+	case CodecBinary:
+		frame = appendBinaryBatch(frame, b)
+	case CodecJSON:
+		blob, err := json.Marshal(b)
+		if err != nil {
+			return nil, fmt.Errorf("collector: marshal batch: %w", err)
+		}
+		frame = append(frame, blob...)
+	default:
+		return nil, fmt.Errorf("collector: unknown codec %d", codec)
+	}
+	n := len(frame) - 4
+	if n > maxBatchBytes {
+		return nil, fmt.Errorf("collector: batch of %d bytes exceeds limit", n)
+	}
+	binary.BigEndian.PutUint32(frame[:4], uint32(n))
+	return frame, nil
+}
+
+// FaultConfig injects deterministic, seeded faults into an agent's outgoing
+// DATA frames, emulating a lossy collection network above the TCP session:
+// whole frames are dropped, duplicated, reordered with their successor, or
+// delayed. Control frames are never injected — the loss model targets the
+// collection payload; the session protocol underneath is what recovers it
+// (retransmission after missing acknowledgements, duplicate filtering by
+// sequence number at the sink). Rates are probabilities in [0,1]; the
+// decision sequence is fully determined by Seed.
+type FaultConfig struct {
+	Seed      uint64
+	Drop      float64       // P(frame is silently discarded)
+	Duplicate float64       // P(frame is sent twice)
+	Reorder   float64       // P(frame swaps with the next data frame)
+	DelayRate float64       // P(frame is delayed by Delay before sending)
+	Delay     time.Duration // wall-clock delay applied on a delay decision
+}
+
+// Active reports whether any fault injection is configured.
+func (c FaultConfig) Active() bool {
+	return c.Drop > 0 || c.Duplicate > 0 || c.Reorder > 0 || (c.DelayRate > 0 && c.Delay > 0)
+}
+
+// faultInjector applies a FaultConfig to a sequence of encoded data frames.
+type faultInjector struct {
+	cfg  FaultConfig
+	rng  *rand.Rand
+	held []byte // frame held back by a reorder decision
+
+	dropped, duplicated, reordered, delayed int
+}
+
+// newFaultInjector builds the injector (nil when the config is inactive).
+func newFaultInjector(cfg FaultConfig) *faultInjector {
+	if !cfg.Active() {
+		return nil
+	}
+	return &faultInjector{cfg: cfg, rng: rand.New(rand.NewSource(int64(cfg.Seed)))}
+}
+
+// apply decides one data frame's fate: the byte slices to put on the wire
+// (possibly none) and a wall-clock delay to impose first.
+func (f *faultInjector) apply(frame []byte) (out [][]byte, delay time.Duration) {
+	if f == nil {
+		return [][]byte{frame}, 0
+	}
+	if f.cfg.DelayRate > 0 && f.rng.Float64() < f.cfg.DelayRate {
+		f.delayed++
+		delay = f.cfg.Delay
+	}
+	if f.cfg.Drop > 0 && f.rng.Float64() < f.cfg.Drop {
+		f.dropped++
+		return nil, delay
+	}
+	if f.cfg.Duplicate > 0 && f.rng.Float64() < f.cfg.Duplicate {
+		f.duplicated++
+		out = append(out, frame)
+	}
+	if f.held != nil {
+		// A held frame goes out after the current one (the swap).
+		out = append(out, frame, f.held)
+		f.held = nil
+		return out, delay
+	}
+	if f.cfg.Reorder > 0 && f.rng.Float64() < f.cfg.Reorder {
+		f.reordered++
+		f.held = frame
+		return out, delay
+	}
+	out = append(out, frame)
+	return out, delay
+}
+
+// flush returns any held frame (called before control frames and at the end
+// of a write burst, so a reorder decision cannot starve the last frame).
+func (f *faultInjector) flush() []byte {
+	if f == nil || f.held == nil {
+		return nil
+	}
+	h := f.held
+	f.held = nil
+	return h
+}

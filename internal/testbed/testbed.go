@@ -156,6 +156,18 @@ func (tb *Testbed) replaceHardware() {
 	}
 }
 
+// Ingestor consumes a testbed's periodic log drains: each call delivers one
+// node's next time-ordered records with a watermark promising that all of
+// the node's data up to that virtual instant has been delivered. The local
+// streaming aggregator (*analysis.Streamer) satisfies it, and so does the
+// distributed plane's uplink (collector.Agent) — a testbed streams to either
+// without knowing whether the aggregation happens in-process or behind a
+// TCP session.
+type Ingestor interface {
+	Ingest(testbed, node string, reports []core.UserReport,
+		entries []core.SystemEntry, watermark sim.Time) error
+}
+
 // SpecEntry describes this testbed's streams for a streaming aggregator.
 func (tb *Testbed) SpecEntry() analysis.TestbedSpec {
 	spec := analysis.TestbedSpec{Name: tb.Name, Kind: tb.opts.Kind, NAP: tb.NAP.Node}
@@ -170,7 +182,7 @@ func (tb *Testbed) SpecEntry() analysis.TestbedSpec {
 // current instant as the stream watermark, so the logs never accumulate a
 // campaign's worth of records. Call before Run; pair with a FinishStream
 // after Run to ship the tail.
-func (tb *Testbed) StreamTo(s *analysis.Streamer, every sim.Time) {
+func (tb *Testbed) StreamTo(s Ingestor, every sim.Time) {
 	if every <= 0 {
 		panic(fmt.Sprintf("testbed: non-positive stream flush interval %v", every))
 	}
@@ -183,12 +195,12 @@ func (tb *Testbed) StreamTo(s *analysis.Streamer, every sim.Time) {
 }
 
 // FinishStream ships whatever the logs still hold after the horizon.
-func (tb *Testbed) FinishStream(s *analysis.Streamer) {
+func (tb *Testbed) FinishStream(s Ingestor) {
 	tb.drainTo(s)
 }
 
 // drainTo ships every node's current log contents with watermark = now.
-func (tb *Testbed) drainTo(s *analysis.Streamer) {
+func (tb *Testbed) drainTo(s Ingestor) {
 	now := tb.World.Now()
 	for _, h := range tb.PANUs {
 		if err := s.Ingest(tb.Name, h.Node, tb.TestLogs[h.Node].Drain(),
@@ -252,20 +264,55 @@ type Campaign struct {
 	Realistic *Testbed
 }
 
+// CampaignOptions returns the two testbed Options a campaign of the given
+// seed and scenario is built from, with the mid-campaign hardware
+// replacement scheduled at duration/2 (pass 0 to defer that to the
+// campaign's Run). The distributed plane's agents build exactly one of the
+// two, which is what makes a testbed shard in its own OS process
+// bit-identical to the same testbed inside a single-process campaign.
+func CampaignOptions(seed uint64, scenario recovery.Scenario, duration sim.Time) (random, realistic Options) {
+	random = Options{
+		Name: "random", Seed: seed ^ 0x72616E64, Kind: core.WLRandom,
+		Scenario: scenario, ReplaceHardwareAt: duration / 2,
+	}
+	realistic = Options{
+		Name: "realistic", Seed: seed ^ 0x7265616C, Kind: core.WLRealistic,
+		Scenario: scenario, ReplaceHardwareAt: duration / 2,
+	}
+	return random, realistic
+}
+
+// CampaignStreamSpec declares the standard two-testbed campaign's streams
+// from the device catalogue alone — what a collection sink needs to host
+// the streaming aggregator without building any hosts. It is exactly
+// Campaign.StreamSpec for a freshly built campaign (pinned by test).
+func CampaignStreamSpec() analysis.StreamSpec {
+	var nap string
+	var panus []string
+	for _, spec := range device.Catalog() {
+		if spec.IsNAP {
+			nap = spec.Name
+			continue
+		}
+		panus = append(panus, spec.Name)
+	}
+	return analysis.StreamSpec{Testbeds: []analysis.TestbedSpec{
+		{Name: "random", Kind: core.WLRandom, NAP: nap, PANUs: panus},
+		{Name: "realistic", Kind: core.WLRealistic, NAP: nap, PANUs: panus},
+	}}
+}
+
 // NewCampaign builds both testbeds with derived seeds.
 func NewCampaign(seed uint64, scenario recovery.Scenario,
 	mutateHost func(name string, cfg *stack.Config)) (*Campaign, error) {
-	random, err := New(Options{
-		Name: "random", Seed: seed ^ 0x72616E64, Kind: core.WLRandom,
-		Scenario: scenario, MutateHost: mutateHost,
-	})
+	randomOpts, realisticOpts := CampaignOptions(seed, scenario, 0)
+	randomOpts.MutateHost = mutateHost
+	realisticOpts.MutateHost = mutateHost
+	random, err := New(randomOpts)
 	if err != nil {
 		return nil, err
 	}
-	realistic, err := New(Options{
-		Name: "realistic", Seed: seed ^ 0x7265616C, Kind: core.WLRealistic,
-		Scenario: scenario, MutateHost: mutateHost,
-	})
+	realistic, err := New(realisticOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -319,7 +366,7 @@ func (c *Campaign) StreamSpec() analysis.StreamSpec {
 // testbeds still run on separate goroutines; the aggregator's watermark
 // fold keeps the merged record order, and therefore every aggregate,
 // bit-identical to a sequential retained run.
-func (c *Campaign) RunStreaming(duration, flushEvery sim.Time, s *analysis.Streamer) (randomRes, realisticRes *Results) {
+func (c *Campaign) RunStreaming(duration, flushEvery sim.Time, s Ingestor) (randomRes, realisticRes *Results) {
 	c.Random.opts.ReplaceHardwareAt = duration / 2
 	c.Realistic.opts.ReplaceHardwareAt = duration / 2
 	c.Random.StreamTo(s, flushEvery)
@@ -338,7 +385,7 @@ func (c *Campaign) RunStreaming(duration, flushEvery sim.Time, s *analysis.Strea
 }
 
 // RunStreamingSequential is RunStreaming on a single goroutine.
-func (c *Campaign) RunStreamingSequential(duration, flushEvery sim.Time, s *analysis.Streamer) (randomRes, realisticRes *Results) {
+func (c *Campaign) RunStreamingSequential(duration, flushEvery sim.Time, s Ingestor) (randomRes, realisticRes *Results) {
 	c.Random.opts.ReplaceHardwareAt = duration / 2
 	c.Realistic.opts.ReplaceHardwareAt = duration / 2
 	c.Random.StreamTo(s, flushEvery)

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// CountersSnapshot is the serializable state of a client's Counters. The
+// distributed collection plane ships it in the agent's final frame (the §6
+// idle-time scalars and Figure 3a need per-client counters, which never
+// travel through the record stream), and sweep checkpoints persist it per
+// seed so interrupted sweeps resume with their scalar columns intact.
+type CountersSnapshot struct {
+	Cycles      int   `json:"cycles"`
+	Connections int   `json:"connections"`
+	BytesMoved  int64 `json:"bytes_moved"`
+
+	Failures map[core.UserFailure]int `json:"failures,omitempty"`
+	Masked   map[core.UserFailure]int `json:"masked,omitempty"`
+
+	PacketsByType []int64 `json:"packets_by_type"`
+	LossesByType  []int64 `json:"losses_by_type"`
+
+	IdleBeforeFailed stats.SummarySnapshot `json:"idle_before_failed"`
+	IdleBeforeClean  stats.SummarySnapshot `json:"idle_before_clean"`
+}
+
+// Snapshot captures the counters' exact state.
+func (c *Counters) Snapshot() *CountersSnapshot {
+	snap := &CountersSnapshot{
+		Cycles:           c.Cycles,
+		Connections:      c.Connections,
+		BytesMoved:       c.BytesMoved,
+		Failures:         make(map[core.UserFailure]int, len(c.Failures)),
+		Masked:           make(map[core.UserFailure]int, len(c.Masked)),
+		PacketsByType:    append([]int64(nil), c.PacketsByType[:]...),
+		LossesByType:     append([]int64(nil), c.LossesByType[:]...),
+		IdleBeforeFailed: c.IdleBeforeFailed.Snapshot(),
+		IdleBeforeClean:  c.IdleBeforeClean.Snapshot(),
+	}
+	for f, n := range c.Failures {
+		snap.Failures[f] = n
+	}
+	for f, n := range c.Masked {
+		snap.Masked[f] = n
+	}
+	return snap
+}
+
+// RestoreCounters rebuilds Counters from a snapshot.
+func RestoreCounters(snap *CountersSnapshot) (*Counters, error) {
+	if len(snap.PacketsByType) != core.NumPacketTypes || len(snap.LossesByType) != core.NumPacketTypes {
+		return nil, fmt.Errorf("workload: counters snapshot has %d/%d packet-type cells, want %d",
+			len(snap.PacketsByType), len(snap.LossesByType), core.NumPacketTypes)
+	}
+	c := NewCounters()
+	c.Cycles, c.Connections, c.BytesMoved = snap.Cycles, snap.Connections, snap.BytesMoved
+	for f, n := range snap.Failures {
+		c.Failures[f] = n
+	}
+	for f, n := range snap.Masked {
+		c.Masked[f] = n
+	}
+	copy(c.PacketsByType[:], snap.PacketsByType)
+	copy(c.LossesByType[:], snap.LossesByType)
+	c.IdleBeforeFailed = stats.RestoreSummary(snap.IdleBeforeFailed)
+	c.IdleBeforeClean = stats.RestoreSummary(snap.IdleBeforeClean)
+	return c, nil
+}

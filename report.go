@@ -1,0 +1,64 @@
+package btpan
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+// ResultFromAggregates reassembles a CampaignResult from a completed
+// distributed campaign: the sink's finalized streaming aggregates plus the
+// per-testbed workload counters and durations the agents shipped in their
+// Done frames. The result answers every aggregate query (Table 2/3/4,
+// figures, §6 scalars, data items) through exactly the same code paths as a
+// single-process streaming campaign, which is what makes the distributed ≡
+// single-process equivalence a digit-for-digit claim rather than a
+// tolerance check.
+func ResultFromAggregates(cfg CampaignConfig, agg *analysis.Aggregates,
+	counters map[string]map[string]*workload.Counters,
+	durations map[string]sim.Time) (*CampaignResult, error) {
+	if agg == nil {
+		return nil, fmt.Errorf("btpan: nil aggregates")
+	}
+	res := &CampaignResult{Config: cfg, Agg: agg}
+	for _, name := range []string{"random", "realistic"} {
+		if counters[name] == nil {
+			return nil, fmt.Errorf("btpan: no counters for the %q testbed", name)
+		}
+		tb := &testbed.Results{Name: name, Duration: durations[name],
+			Counters: make(map[string]*workload.Counters, len(counters[name]))}
+		for node, c := range counters[name] {
+			tb.Counters[node] = c
+		}
+		if name == "random" {
+			res.Random = tb
+		} else {
+			res.Realistic = tb
+		}
+	}
+	return res, nil
+}
+
+// WriteReport renders the campaign's streaming report — dataset sizes, the
+// Table 4 column, the §6 scalars, and Tables 2 and 3 — in the canonical
+// format shared by btcampaign -stream and btsink. The multi-process smoke
+// test diffs the two outputs byte for byte, so any change here changes both
+// sides at once.
+func WriteReport(w io.Writer, res *CampaignResult) {
+	u, s, tot := res.DataItems()
+	fmt.Fprintf(w, "collected %d user reports + %d system entries = %d items\n", u, s, tot)
+	d := res.Dependability()
+	fmt.Fprintf(w, "MTTF %.2f s, MTTR %.2f s, availability %.3f, coverage %.1f%%\n",
+		d.MTTF, d.MTTR, d.Availability, d.CoveragePct)
+	sc := res.Scalars()
+	fmt.Fprintf(w, "random-workload share %.1f%% (paper: 84%%), idle before failed %.2f s vs clean %.2f s\n",
+		sc.RandomSharePct, sc.IdleBeforeFailedMean, sc.IdleBeforeCleanMean)
+	fmt.Fprintf(w, "\nTable 2 (error-failure relationship)\n%s", res.Table2().Render())
+	fmt.Fprintf(w, "\nTable 3 (SIRA effectiveness)\n%s", res.Table3().Render())
+	t4 := &analysis.Table4{Columns: []*analysis.Dependability{d}}
+	fmt.Fprintf(w, "\nTable 4 column\n%s", t4.Render())
+}

@@ -4,7 +4,9 @@
 # the day-scale throughput metric (ns/op, B/op, allocs/op — comparable back
 # to PR 1), the month-scale streaming benchmark with its live-heap metric
 # (O(1) in campaign days) and the retained 30-day control, plus the
-# scatternet day benchmark (4 piconets, 3 bridges, streaming — PR 3).
+# scatternet day benchmark (4 piconets, 3 bridges, streaming — PR 3) and the
+# wall-clock seconds of the end-to-end multi-process collection smoke
+# (sink + 2 agents over loopback, clean + kill/resume passes — PR 5).
 # Usage: scripts/bench.sh [day-benchtime] [month-benchtime]
 set -eu
 
@@ -12,10 +14,18 @@ cd "$(dirname "$0")/.."
 day_benchtime="${1:-5x}"
 month_benchtime="${2:-1x}"
 
+# Warm the build cache first so the smoke's internal go-build steps are
+# cache hits and the timed value measures the collection plane, not the
+# compiler (a cold CI runner would otherwise dominate the metric).
+go build ./... >/dev/null
+smoke_start="$(date +%s)"
+./scripts/smoke_distributed.sh >/dev/null
+smoke_secs="$(($(date +%s) - smoke_start))"
+
 day_out="$(go test -run '^$' -bench '^BenchmarkCampaignDay$' -benchtime "$day_benchtime" -benchmem . | tee /dev/stderr)"
 month_out="$(go test -run '^$' -bench '^Benchmark(CampaignMonth|ScatternetDay)' -benchtime "$month_benchtime" -benchmem . | tee /dev/stderr)"
 
-printf '%s\n%s\n' "$day_out" "$month_out" | awk '
+printf '%s\n%s\n' "$day_out" "$month_out" | awk -v smoke="$smoke_secs" '
 # Benchmark lines interleave custom metrics with the standard ones, so pick
 # values by their unit token instead of field position.
 /^Benchmark(Campaign|Scatternet)/ {
@@ -67,7 +77,8 @@ END {
     printf "    \"live_mb\": %s,\n", s_live
     printf "    \"items\": %s,\n", s_items
     printf "    \"correlated_outages\": %s\n", s_out
-    printf "  }\n"
+    printf "  },\n"
+    printf "  \"distributed_smoke_seconds\": %s\n", smoke
     printf "}\n"
 }' >BENCH_campaign.json
 

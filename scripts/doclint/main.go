@@ -4,14 +4,22 @@
 // and every package must have a package comment in exactly the revive/
 // golint "exported" spirit. CI runs it over the whole module.
 //
+// The -strict flag raises the bar for named path prefixes: there EVERY
+// top-level declaration — unexported included, only func main/init exempt —
+// must carry a doc comment. CI applies it to the distributed collection
+// plane (the cmd/btagent and cmd/btsink binaries and the collector
+// transport), whose session protocol is exactly the kind of code where an
+// undocumented helper hides a protocol invariant.
+//
 // Usage:
 //
-//	go run ./scripts/doclint [dir ...]   (default: the module tree)
+//	go run ./scripts/doclint [-strict prefix,prefix...] [dir ...]
 //
-// Exits non-zero listing file:line for every undocumented exported symbol.
+// Exits non-zero listing file:line for every undocumented symbol.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -23,8 +31,29 @@ import (
 	"strings"
 )
 
+// strictPrefixes holds the -strict path prefixes (slash-separated, relative
+// to the lint root).
+var strictPrefixes []string
+
+// strictPath reports whether a file path falls under a strict prefix.
+func strictPath(path string) bool {
+	path = filepath.ToSlash(strings.TrimPrefix(path, "./"))
+	for _, p := range strictPrefixes {
+		if p != "" && strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
-	roots := os.Args[1:]
+	strict := flag.String("strict", "",
+		"comma-separated path prefixes where all top-level declarations (unexported included) need doc comments")
+	flag.Parse()
+	if *strict != "" {
+		strictPrefixes = strings.Split(*strict, ",")
+	}
+	roots := flag.Args()
 	if len(roots) == 0 {
 		roots = []string{"."}
 	}
@@ -110,6 +139,7 @@ func lintDir(dir string) ([]string, error) {
 		sort.Strings(fnames)
 		for _, fname := range fnames {
 			file := pkg.Files[fname]
+			strict := strictPath(fname)
 			if !hasPkgDoc {
 				report(file.Package, "package", pkg.Name+" ("+filepath.Base(fname)+")")
 				hasPkgDoc = true // one report per package
@@ -117,11 +147,19 @@ func lintDir(dir string) ([]string, error) {
 			for _, decl := range file.Decls {
 				switch d := decl.(type) {
 				case *ast.FuncDecl:
-					if d.Name.IsExported() && exportedRecv(d) && d.Doc == nil {
-						report(d.Pos(), funcKind(d), d.Name.Name)
+					if d.Doc != nil {
+						continue
+					}
+					name := d.Name.Name
+					if strict && name != "main" && name != "init" {
+						report(d.Pos(), funcKind(d), name)
+						continue
+					}
+					if d.Name.IsExported() && exportedRecv(d) {
+						report(d.Pos(), funcKind(d), name)
 					}
 				case *ast.GenDecl:
-					lintGen(d, report)
+					lintGen(d, report, strict)
 				}
 			}
 		}
@@ -161,8 +199,9 @@ func exportedRecv(d *ast.FuncDecl) bool {
 }
 
 // lintGen checks a type/const/var declaration group: the group doc covers
-// every spec; otherwise each exported spec needs its own.
-func lintGen(d *ast.GenDecl, report func(token.Pos, string, string)) {
+// every spec; otherwise each exported spec (every spec, in strict files)
+// needs its own.
+func lintGen(d *ast.GenDecl, report func(token.Pos, string, string), strict bool) {
 	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
 		return
 	}
@@ -172,7 +211,7 @@ func lintGen(d *ast.GenDecl, report func(token.Pos, string, string)) {
 	for _, spec := range d.Specs {
 		switch s := spec.(type) {
 		case *ast.TypeSpec:
-			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+			if (s.Name.IsExported() || strict) && s.Doc == nil && s.Comment == nil {
 				report(s.Pos(), "type", s.Name.Name)
 			}
 		case *ast.ValueSpec:
@@ -180,7 +219,10 @@ func lintGen(d *ast.GenDecl, report func(token.Pos, string, string)) {
 				continue
 			}
 			for _, name := range s.Names {
-				if name.IsExported() {
+				if name.Name == "_" {
+					continue
+				}
+				if name.IsExported() || strict {
 					report(s.Pos(), strings.ToLower(d.Tok.String()), name.Name)
 					break
 				}

@@ -1,0 +1,85 @@
+#!/bin/sh
+# smoke_distributed.sh is the end-to-end multi-process proof of the
+# distributed collection plane: it spawns one btsink and two btagent shard
+# processes over loopback TCP and asserts that the sink's campaign report is
+# byte-identical to `btcampaign -stream` on the same seeds — first on a
+# clean network, then with fault injection (drop/duplicate/reorder) AND a
+# kill -9 of the sink mid-campaign followed by a checkpoint restart.
+# CI runs it on every push; bench.sh times it into BENCH_campaign.json.
+# Usage: scripts/smoke_distributed.sh [days] [seed]
+set -eu
+
+cd "$(dirname "$0")/.."
+days="${1:-1}"
+seed="${2:-1}"
+tmp="$(mktemp -d)"
+port=$((21000 + $$ % 20000))
+addr="127.0.0.1:$port"
+cleanup() {
+    # shellcheck disable=SC2046
+    kill $(jobs -p) 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/btsink" ./cmd/btsink
+go build -o "$tmp/btagent" ./cmd/btagent
+go build -o "$tmp/btcampaign" ./cmd/btcampaign
+
+# Reference: the single-process streaming campaign's report (skip the
+# banner; the report starts at the "collected" line).
+"$tmp/btcampaign" -seed "$seed" -days "$days" -stream >"$tmp/ref_raw.txt"
+sed -n '/^collected /,$p' "$tmp/ref_raw.txt" >"$tmp/ref.txt"
+[ -s "$tmp/ref.txt" ] || { echo "smoke_distributed: empty reference report" >&2; exit 1; }
+
+# Pass 1: clean network, no checkpointing.
+"$tmp/btsink" -addr "$addr" -seed "$seed" -days "$days" -timeout 10m \
+    >"$tmp/dist1.txt" 2>"$tmp/sink1.log" &
+sink_pid=$!
+"$tmp/btagent" -sink "$addr" -testbed random -seed "$seed" -days "$days" 2>"$tmp/agent_r1.log" &
+a1=$!
+"$tmp/btagent" -sink "$addr" -testbed realistic -seed "$seed" -days "$days" 2>"$tmp/agent_e1.log" &
+a2=$!
+wait "$a1"; wait "$a2"; wait "$sink_pid"
+if ! diff -u "$tmp/ref.txt" "$tmp/dist1.txt"; then
+    echo "smoke_distributed: clean-network report differs from btcampaign -stream" >&2
+    exit 1
+fi
+echo "smoke_distributed: pass 1 OK (clean network, report byte-identical)"
+
+# Pass 2: fault injection on both agents + SIGKILL the sink mid-campaign,
+# then restart it from its checkpoint on the same port.
+port=$((port + 1))
+addr="127.0.0.1:$port"
+ckpt="$tmp/sink.ckpt"
+"$tmp/btsink" -addr "$addr" -seed "$seed" -days "$days" \
+    -checkpoint "$ckpt" -checkpoint-every 8 -timeout 10m \
+    >"$tmp/dist2a.txt" 2>"$tmp/sink2a.log" &
+sink_pid=$!
+"$tmp/btagent" -sink "$addr" -testbed random -seed "$seed" -days "$days" \
+    -drop 0.1 -dup 0.1 -reorder 0.15 -fault-seed 5 2>"$tmp/agent_r2.log" &
+a1=$!
+"$tmp/btagent" -sink "$addr" -testbed realistic -seed "$seed" -days "$days" \
+    -drop 0.1 -dup 0.1 -reorder 0.15 -fault-seed 6 2>"$tmp/agent_e2.log" &
+a2=$!
+
+# Kill as soon as a checkpoint exists (kill -9: no graceful final write).
+tries=0
+while [ ! -s "$ckpt" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -gt 600 ] && { echo "smoke_distributed: no checkpoint appeared" >&2; exit 1; }
+    sleep 0.05
+done
+kill -9 "$sink_pid" 2>/dev/null || true
+wait "$sink_pid" 2>/dev/null || true
+
+"$tmp/btsink" -addr "$addr" -seed "$seed" -days "$days" \
+    -checkpoint "$ckpt" -checkpoint-every 8 -timeout 10m \
+    >"$tmp/dist2.txt" 2>"$tmp/sink2b.log" &
+sink_pid=$!
+wait "$a1"; wait "$a2"; wait "$sink_pid"
+if ! diff -u "$tmp/ref.txt" "$tmp/dist2.txt"; then
+    echo "smoke_distributed: kill/resume report differs from btcampaign -stream" >&2
+    exit 1
+fi
+echo "smoke_distributed: pass 2 OK (faults + kill -9 + checkpoint resume, report byte-identical)"

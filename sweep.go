@@ -35,6 +35,13 @@ type SweepConfig struct {
 	// Retained switches the per-seed campaigns to the record-retaining
 	// plane (debugging / raw-record analysis; memory grows with duration).
 	Retained bool
+	// CheckpointDir, when set, persists every completed seed's aggregates
+	// (plus counters) as one JSON file in the directory and skips seeds
+	// whose file already exists on a later run — an interrupted month-scale
+	// sweep resumes instead of restarting, with CI tables bit-identical to
+	// an uninterrupted sweep (the restored seeds answer through the same
+	// aggregate code paths). Streaming, non-scatternet sweeps only.
+	CheckpointDir string
 	// Piconets/Bridges/Topology/Redundancy/HoldTime switch the sweep to
 	// scatternet campaigns: when any of them is set, every seed runs a
 	// scatternet of that topology instead of a single-piconet campaign
@@ -97,6 +104,10 @@ func (c SweepConfig) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("btpan: negative sweep worker count")
 	}
+	if c.CheckpointDir != "" && (c.Retained || c.Scatternet()) {
+		return fmt.Errorf("btpan: sweep checkpointing needs the streaming plane " +
+			"(no -retained) and is not supported for scatternet sweeps")
+	}
 	if c.Scatternet() {
 		return c.scatternetConfig(0).Validate()
 	}
@@ -154,13 +165,26 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 					}
 					continue
 				}
-				runs[i], errs[i] = RunCampaign(CampaignConfig{
+				ccfg := CampaignConfig{
 					Seed:       cfg.BaseSeed + uint64(i),
 					Duration:   cfg.Duration,
 					Scenario:   cfg.Scenario,
 					Streaming:  !cfg.Retained,
 					FlushEvery: cfg.FlushEvery,
-				})
+				}
+				if cfg.CheckpointDir != "" {
+					if res, err := loadSeedCheckpoint(cfg.CheckpointDir, ccfg); err != nil {
+						errs[i] = err
+						continue
+					} else if res != nil {
+						runs[i] = res
+						continue
+					}
+				}
+				runs[i], errs[i] = RunCampaign(ccfg)
+				if errs[i] == nil && cfg.CheckpointDir != "" {
+					errs[i] = saveSeedCheckpoint(cfg.CheckpointDir, runs[i])
+				}
 			}
 		}()
 	}
