@@ -2,11 +2,14 @@ package btpan
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 
 	"repro/internal/analysis"
+	"repro/internal/collector"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -16,7 +19,11 @@ import (
 // re-run of the same sweep configuration loads those files instead of
 // recomputing the seeds — interrupted month-scale sweeps resume where they
 // stopped. The files carry the campaign configuration as a guard so a stale
-// directory cannot silently contaminate a different sweep.
+// directory cannot silently contaminate a different sweep, plus the
+// collector's torn-write trailer (collector.WriteFileDurable) so a sweep
+// process killed mid-write leaves a detectably-torn file — which load
+// rejects in favor of the previous good copy — rather than a silently
+// half-loaded seed.
 
 // seedCheckpoint is one completed seed's persisted campaign.
 type seedCheckpoint struct {
@@ -64,12 +71,7 @@ func saveSeedCheckpoint(dir string, res *CampaignResult) error {
 	if err != nil {
 		return err
 	}
-	path := seedCheckpointPath(dir, res.Config.Seed)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return collector.WriteFileDurable(seedCheckpointPath(dir, res.Config.Seed), blob)
 }
 
 // loadSeedCheckpoint restores one seed's campaign if its checkpoint file
@@ -77,8 +79,8 @@ func saveSeedCheckpoint(dir string, res *CampaignResult) error {
 // different configuration is an error, never a silent substitute.
 func loadSeedCheckpoint(dir string, cfg CampaignConfig) (*CampaignResult, error) {
 	path := seedCheckpointPath(dir, cfg.Seed)
-	blob, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
+	blob, err := collector.ReadFileDurable(path)
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
 	}
 	if err != nil {

@@ -7,12 +7,19 @@
 // TCP.
 //
 // Delivery is at-least-once: batches stay buffered until the sink
-// acknowledges them, connection losses reconnect and resume from the sink's
-// handshake cursors, and acknowledgement stalls trigger go-back-N
-// retransmission — so the campaign survives sink restarts and (with the
-// fault-injection knobs) deterministic frame loss, duplication, reordering
-// and delay on the data path. See PROTOCOL.md for the wire format and
-// OPERATIONS.md for deployment walkthroughs.
+// acknowledges them, connection losses reconnect (with capped, jittered
+// exponential backoff) and resume from the sink's handshake cursors, and
+// acknowledgement stalls trigger go-back-N retransmission — so the campaign
+// survives sink restarts and (with the fault-injection knobs) deterministic
+// frame loss, duplication, reordering and delay on the data path.
+//
+// With -spill-dir the agent itself survives kill -9: every encoded batch
+// frame is appended to a write-ahead spill log before it is offered to the
+// uplink, and a restarted agent with the same flags replays the
+// unacknowledged tail while its deterministic re-run regenerates — and
+// skips — everything already assigned a sequence number, so the campaign
+// report stays byte-identical to an uninterrupted run. See PROTOCOL.md for
+// the wire and WAL formats and OPERATIONS.md for the crash matrix.
 //
 // Usage:
 //
@@ -29,6 +36,10 @@
 //	-codec C         data frame codec: binary or json (default binary)
 //	-timeout D       how long Finish waits for the sink's completion
 //	                 confirmation, e.g. 5m (default 10m; 0 waits forever)
+//	-spill-dir DIR   write-ahead spill log directory; restart with the same
+//	                 directory to resume after a crash (empty disables)
+//	-spill-budget N  max bytes of unacknowledged spill before the agent
+//	                 fails loudly (default 0: unbounded)
 //	-drop P          fault injection: P(drop) per data frame (default 0)
 //	-dup P           fault injection: P(duplicate) per data frame (default 0)
 //	-reorder P       fault injection: P(swap with next frame) (default 0)
@@ -40,6 +51,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"time"
 
@@ -60,6 +72,8 @@ func main() {
 	flush := flag.Int("flush", 3600, "virtual seconds between log drains")
 	codecName := flag.String("codec", "binary", "data frame codec: binary or json")
 	timeout := flag.Duration("timeout", 10*time.Minute, "completion confirmation timeout (0 = forever)")
+	spillDir := flag.String("spill-dir", "", "write-ahead spill log directory (empty disables crash tolerance)")
+	spillBudget := flag.Int64("spill-budget", 0, "max bytes of unacknowledged spill (0 = unbounded)")
 	drop := flag.Float64("drop", 0, "fault injection: drop probability per data frame")
 	dup := flag.Float64("dup", 0, "fault injection: duplicate probability per data frame")
 	reorder := flag.Float64("reorder", 0, "fault injection: reorder probability per data frame")
@@ -100,11 +114,17 @@ func main() {
 	}
 	nodes = append(nodes, tb.NAP.Node)
 
+	// Decorrelate the reconnection jitter of this campaign's shards: same
+	// campaign seed, different testbed name, different backoff schedule.
+	jitter := fnv.New64a()
+	jitter.Write([]byte(opts.Name))
 	agent, err := collector.NewAgent(collector.AgentConfig{
 		Addr: *sinkAddr,
 		Campaign: collector.CampaignID{Seed: *seed, Duration: duration,
 			Scenario: *scenario},
 		Testbed: opts.Name, Nodes: nodes, Codec: codec,
+		SpillDir: *spillDir, SpillBudget: *spillBudget,
+		RetrySeed: *seed ^ jitter.Sum64(),
 		Fault: collector.FaultConfig{
 			Seed: *faultSeed, Drop: *drop, Duplicate: *dup, Reorder: *reorder,
 			Delay: *delay, DelayRate: *delayRate,

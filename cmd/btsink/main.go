@@ -8,10 +8,13 @@
 // bit-identity the multi-process smoke test asserts.
 //
 // With -checkpoint the sink periodically persists its full aggregation
-// state (atomic rename) and acknowledges only checkpoint-covered batches:
-// kill it at any instant, restart it with the same flags, and the agents
-// resume from the last checkpoint to the same digits. See PROTOCOL.md for
-// the wire format and OPERATIONS.md for a crash-resume walkthrough.
+// state (atomic rename, CRC/length guard trailer, previous good file kept
+// as FILE.prev) and acknowledges only checkpoint-covered batches: kill it
+// at any instant, restart it with the same flags, and the agents resume
+// from the last checkpoint to the same digits. A checkpoint torn by a
+// crash mid-write is detected by its trailer and restore falls back to
+// FILE.prev instead of resuming from garbage. See PROTOCOL.md for the wire
+// format and OPERATIONS.md for a crash-resume walkthrough and crash matrix.
 //
 // Usage:
 //

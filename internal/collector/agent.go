@@ -2,6 +2,7 @@ package collector
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -24,6 +25,14 @@ import (
 // cursors, and an acknowledgement stall triggers go-back-N retransmission
 // of everything unacknowledged. The sink deduplicates by sequence number,
 // so duplicates arising from retransmission are harmless by construction.
+//
+// With SpillDir configured the agent is additionally crash-tolerant: every
+// encoded batch frame is appended to a write-ahead spill log (wal.go)
+// before it is offered to the uplink, acknowledgements truncate the log,
+// and a restarted agent replays the unacknowledged tail while skipping the
+// drains its deterministic re-run regenerates — so kill -9 of the shard
+// process resumes to a bit-identical campaign, the same way a sink kill
+// already does.
 type Agent struct {
 	cfg AgentConfig
 	inj *faultInjector
@@ -31,8 +40,11 @@ type Agent struct {
 	mu           sync.Mutex
 	streams      map[string]*agentStream
 	order        []string
-	done         *Done // set by Finish; resent once per connection
-	err          error // first fatal protocol error
+	wal          *wal        // nil without SpillDir
+	walQ         []walQueued // ingested but not yet encoded/spilled batches
+	connected    bool        // a session holds a live Resume handshake
+	done         *Done       // set by Finish; resent once per connection
+	err          error       // first fatal protocol error
 	lastProgress time.Time
 	sent         int // data frames handed to the fault injector
 	retransmits  int // frames sent again after an earlier send
@@ -63,29 +75,84 @@ type AgentConfig struct {
 	// Fault optionally injects deterministic loss/duplication/reordering/
 	// delay into outgoing data frames (see FaultConfig).
 	Fault FaultConfig
+	// SpillDir, when set, enables the write-ahead spill log: encoded batch
+	// frames are appended to <SpillDir>/<Testbed>.wal before being offered
+	// to the uplink, and a restarted agent given the same directory replays
+	// the unacknowledged tail (PROTOCOL.md §10). Empty keeps the batches in
+	// memory only — a crashed agent then restarts its shard from scratch.
+	SpillDir string
+	// SpillBudget bounds the spill log's unacknowledged bytes (graceful
+	// degradation during a sink outage is not an unbounded disk promise):
+	// when a new frame would push the live spill past the budget the agent
+	// fails loudly instead of spilling forever. 0 means unbounded.
+	SpillBudget int64
 	// DialTimeout bounds one connection attempt (default 2 s).
 	DialTimeout time.Duration
-	// RetryEvery paces reconnection attempts while the sink is unreachable
-	// (default 100 ms). The agent retries until Close or Finish timeout —
-	// a crashed sink is expected to come back with its checkpoint.
+	// RetryMin is the backoff floor between reconnection attempts while the
+	// sink is unreachable (default 100 ms). Consecutive failures double the
+	// delay up to RetryMax, with deterministic jitter from RetrySeed; the
+	// agent retries until Close or Finish timeout — a crashed sink is
+	// expected to come back with its checkpoint.
+	RetryMin time.Duration
+	// RetryMax caps the reconnection backoff (default 5 s, never below
+	// RetryMin).
+	RetryMax time.Duration
+	// RetrySeed seeds the backoff jitter, so a fleet of agents restarting
+	// together does not hammer the sink in lockstep yet every run of a
+	// given agent is reproducible (default 1; wire the shard seed here).
+	RetrySeed uint64
+	// RetryEvery is the deprecated fixed reconnection cadence. When set and
+	// RetryMin is not, it seeds RetryMin for compatibility.
 	RetryEvery time.Duration
+	// HelloTimeout bounds the wait for the sink's Resume/Reject answer to
+	// the session Hello (default 5 s).
+	HelloTimeout time.Duration
+	// IOTimeout bounds each data/control frame write on a session (default
+	// 5 s); a slower sink drops the connection and the agent resumes.
+	IOTimeout time.Duration
 	// StallTimeout triggers go-back-N retransmission when unacknowledged
 	// batches exist and no acknowledgement progress happened for this long
 	// (default 500 ms).
 	StallTimeout time.Duration
 }
 
+// bufEntry is one unacknowledged batch: the decoded form plus, when the
+// spill log is enabled, the exact encoded frame (encoded once at Ingest so
+// the bytes spilled, sent and retransmitted are identical).
+type bufEntry struct {
+	b   *Batch
+	raw []byte // nil without SpillDir; sessions then encode at send time
+}
+
+// walQueued names one buffered batch awaiting its encode + spill append.
+// While a session is live, Ingest only queues (keeping the drain callback
+// off the syscall path) and the session flushes the queue — encode, WAL
+// append, one file write — before offering anything to the uplink. With no
+// session, Ingest flushes inline: during a sink outage, when the spill log
+// is the only safety net, every accepted drain is durable before Ingest
+// returns.
+type walQueued struct {
+	node string
+	seq  uint64
+}
+
 // agentStream is one node's send state.
 type agentStream struct {
 	node     string
-	last     uint64   // last assigned sequence number
-	acked    uint64   // cumulatively acknowledged by the sink
-	sentUpTo uint64   // send cursor on the current connection
-	maxSent  uint64   // highest sequence ever sent (retransmit accounting)
-	buf      []*Batch // unacknowledged batches, sequences acked+1..last
+	last     uint64     // last assigned sequence number
+	acked    uint64     // cumulatively acknowledged by the sink
+	sentUpTo uint64     // send cursor on the current connection
+	maxSent  uint64     // highest sequence ever sent (retransmit accounting)
+	ingested uint64     // drains seen this process (replay-skip counter)
+	replayed uint64     // drains covered by the WAL replay; re-runs skip them
+	buf      []bufEntry // unacknowledged batches, sequences acked+1..last
 }
 
-// NewAgent builds the uplink and starts its connection loop.
+// NewAgent builds the uplink and starts its connection loop. With SpillDir
+// set it first replays the shard's spill log: previously assigned sequence
+// numbers, acknowledged cursors and unacknowledged frames are restored, and
+// the first replayed-many drains of the deterministic re-run are skipped on
+// Ingest rather than re-shipped.
 func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.Addr == "" || cfg.Testbed == "" || len(cfg.Nodes) == 0 {
 		return nil, fmt.Errorf("collector: agent needs an address, a testbed and nodes")
@@ -93,8 +160,26 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 2 * time.Second
 	}
-	if cfg.RetryEvery <= 0 {
-		cfg.RetryEvery = 100 * time.Millisecond
+	if cfg.RetryMin <= 0 {
+		cfg.RetryMin = cfg.RetryEvery // deprecated alias
+	}
+	if cfg.RetryMin <= 0 {
+		cfg.RetryMin = 100 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 5 * time.Second
+	}
+	if cfg.RetryMax < cfg.RetryMin {
+		cfg.RetryMax = cfg.RetryMin
+	}
+	if cfg.RetrySeed == 0 {
+		cfg.RetrySeed = 1
+	}
+	if cfg.HelloTimeout <= 0 {
+		cfg.HelloTimeout = 5 * time.Second
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = 5 * time.Second
 	}
 	if cfg.StallTimeout <= 0 {
 		cfg.StallTimeout = 500 * time.Millisecond
@@ -107,12 +192,41 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		closed:  make(chan struct{}),
 		fin:     make(chan struct{}),
 	}
+	var replay map[string]*walStream
+	if cfg.SpillDir != "" {
+		w, streams, err := openWAL(cfg.SpillDir, cfg.Testbed, cfg.Campaign, cfg.SpillBudget)
+		if err != nil {
+			return nil, err
+		}
+		a.wal = w
+		replay = streams
+	}
 	for _, node := range cfg.Nodes {
 		if _, dup := a.streams[node]; dup {
+			if a.wal != nil {
+				a.wal.close()
+			}
 			return nil, fmt.Errorf("collector: agent declares node %q twice", node)
 		}
-		a.streams[node] = &agentStream{node: node}
+		st := &agentStream{node: node}
+		if ws := replay[node]; ws != nil {
+			st.last, st.acked = ws.last, ws.acked
+			st.sentUpTo, st.replayed = ws.acked, ws.last
+			for _, f := range ws.frames {
+				st.buf = append(st.buf, bufEntry{b: f.batch, raw: f.raw})
+			}
+		}
+		a.streams[node] = st
 		a.order = append(a.order, node)
+	}
+	for node := range replay {
+		if _, ok := a.streams[node]; !ok {
+			if a.wal != nil {
+				a.wal.close()
+			}
+			return nil, fmt.Errorf("collector: spill log holds stream %q this agent does not declare "+
+				"(node list changed between runs?)", node)
+		}
 	}
 	a.wg.Add(1)
 	go a.run()
@@ -127,14 +241,20 @@ func (a *Agent) signal() {
 	}
 }
 
-// fatal records the first unrecoverable protocol error and stops the agent.
-func (a *Agent) fatal(err error) {
-	a.mu.Lock()
+// fatalLocked records the first unrecoverable error and stops the agent.
+// Caller holds mu.
+func (a *Agent) fatalLocked(err error) {
 	if a.err == nil {
 		a.err = err
 	}
-	a.mu.Unlock()
 	a.closeOnce.Do(func() { close(a.closed) })
+}
+
+// fatal records the first unrecoverable protocol error and stops the agent.
+func (a *Agent) fatal(err error) {
+	a.mu.Lock()
+	a.fatalLocked(err)
+	a.mu.Unlock()
 }
 
 // Err reports the agent's fatal error, if any.
@@ -146,9 +266,19 @@ func (a *Agent) Err() error {
 
 // Ingest accepts one drain of a node's logs — the testbed's streaming
 // collection callback. The batch is stamped with the stream's next sequence
-// number, buffered until acknowledged, and shipped asynchronously: Ingest
-// never blocks on the network, so a sink outage stalls shipping, not the
-// campaign (buffered batches grow with the outage; they drain on resume).
+// number, spilled to the WAL when one is configured (inline while the sink
+// is unreachable; through the session's pre-send flush while a session is
+// live, keeping this callback off the syscall path), buffered until
+// acknowledged, and shipped asynchronously: Ingest never blocks on the
+// network, so a sink outage stalls shipping, not the campaign (buffered
+// batches grow with the outage, bounded only by SpillBudget).
+//
+// On a replayed run the first drains are the deterministic re-run of work
+// the previous process already assigned sequence numbers to: they are
+// counted and skipped, so replayed frames keep their original sequence
+// numbers and the sink's duplicate filter sees a consistent stream. A drain
+// whose sequence the sink has already durably acknowledged is likewise
+// dropped without buffering.
 func (a *Agent) Ingest(testbed, node string, reports []core.UserReport,
 	entries []core.SystemEntry, watermark sim.Time) error {
 	if testbed != a.cfg.Testbed {
@@ -167,14 +297,64 @@ func (a *Agent) Ingest(testbed, node string, reports []core.UserReport,
 		return fmt.Errorf("collector: agent for %q got a drain for undeclared node %q",
 			a.cfg.Testbed, node)
 	}
+	st.ingested++
+	if st.ingested <= st.replayed {
+		// The WAL already accounts for this drain (its frame either
+		// survived into buf or was acknowledged before the crash).
+		return nil
+	}
 	st.last++
-	st.buf = append(st.buf, &Batch{
+	if st.last <= st.acked {
+		// The sink holds this batch durably (its Resume cursor was ahead of
+		// our replayed state); assigning the sequence number keeps the
+		// stream consistent, shipping it again would only feed the
+		// duplicate filter.
+		return nil
+	}
+	e := bufEntry{b: &Batch{
 		Node: node, Testbed: testbed,
 		Reports: reports, Entries: entries,
 		Watermark: watermark, Seq: st.last,
-	})
+	}}
+	st.buf = append(st.buf, e)
+	if a.wal != nil {
+		a.walQ = append(a.walQ, walQueued{node: node, seq: st.last})
+		if !a.connected {
+			if err := a.flushWALLocked(); err != nil {
+				a.fatalLocked(err)
+				return err
+			}
+		}
+	}
 	a.signal()
 	return nil
+}
+
+// flushWALLocked encodes every queued batch, appends the frames to the
+// spill log and writes them out in one append. After it returns nil, every
+// buffered batch is durable — the precondition for offering any of them to
+// the uplink. Caller holds mu.
+func (a *Agent) flushWALLocked() error {
+	if a.wal == nil || len(a.walQ) == 0 {
+		return nil
+	}
+	for _, q := range a.walQ {
+		st := a.streams[q.node]
+		if q.seq <= st.acked {
+			continue // pruned before it was ever flushed (cannot happen for sent frames)
+		}
+		e := &st.buf[int(q.seq-st.acked-1)]
+		raw, err := encodeBatchFrame(e.b, a.cfg.Codec)
+		if err != nil {
+			return err
+		}
+		if err := a.wal.appendFrame(raw, false); err != nil {
+			return err
+		}
+		e.raw = raw
+	}
+	a.walQ = a.walQ[:0]
+	return a.wal.flush()
 }
 
 // Finish declares the shard complete: no more Ingest calls will come. It
@@ -215,7 +395,14 @@ func (a *Agent) Finish(counters map[string]*workload.CountersSnapshot, duration 
 		}
 		return fmt.Errorf("collector: agent closed before the sink confirmed completion")
 	case <-timeoutCh:
-		return fmt.Errorf("collector: sink did not confirm completion within %v", timeout)
+		a.mu.Lock()
+		unacked := 0
+		for _, st := range a.streams {
+			unacked += int(st.last - st.acked)
+		}
+		a.mu.Unlock()
+		return fmt.Errorf("collector: sink did not confirm completion within %v "+
+			"(%d batches still unacknowledged)", timeout, unacked)
 	}
 }
 
@@ -228,16 +415,62 @@ func (a *Agent) Stats() (sent, retransmits int) {
 }
 
 // Close stops the agent without waiting for acknowledgements (tests and
-// error paths; the normal shutdown is Finish).
+// error paths; the normal shutdown is Finish). The spill log file is
+// closed but kept on disk — whatever it holds is exactly what a restart
+// needs.
 func (a *Agent) Close() {
 	a.closeOnce.Do(func() { close(a.closed) })
 	a.wg.Wait()
+	a.mu.Lock()
+	if a.wal != nil {
+		if err := a.flushWALLocked(); err != nil {
+			a.fatalLocked(err)
+		}
+		a.wal.close()
+	}
+	a.mu.Unlock()
+}
+
+// Abort stops the agent as the in-process double for kill -9: unflushed
+// network state AND unflushed spill appends are abandoned — only what the
+// spill log already holds survives into the next incarnation, which must
+// regenerate the rest from its deterministic re-run.
+func (a *Agent) Abort() {
+	a.closeOnce.Do(func() { close(a.closed) })
+	a.wg.Wait()
+	a.mu.Lock()
+	if a.wal != nil {
+		a.walQ = nil
+		a.wal.abort()
+	}
+	a.mu.Unlock()
+}
+
+// backoff computes the delay before reconnection attempt n: capped
+// exponential growth from RetryMin to RetryMax, jittered over the upper
+// half of the window by the deterministic per-agent rng.
+func (a *Agent) backoff(rng *rand.Rand, attempt int) time.Duration {
+	d := a.cfg.RetryMin
+	for i := 0; i < attempt && d < a.cfg.RetryMax; i++ {
+		d *= 2
+	}
+	if d > a.cfg.RetryMax {
+		d = a.cfg.RetryMax
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rng.Int63n(int64(half)+1))
 }
 
 // run is the connection loop: dial, session, reconnect — until closed or
-// finished.
+// finished. Failed attempts back off exponentially with seeded jitter; a
+// session that got as far as a Resume handshake resets the backoff.
 func (a *Agent) run() {
 	defer a.wg.Done()
+	rng := rand.New(rand.NewSource(int64(a.cfg.RetrySeed)))
+	attempt := 0
 	for {
 		select {
 		case <-a.closed:
@@ -247,79 +480,94 @@ func (a *Agent) run() {
 		default:
 		}
 		conn, err := net.DialTimeout("tcp", a.cfg.Addr, a.cfg.DialTimeout)
-		if err != nil {
-			select {
-			case <-a.closed:
-				return
-			case <-time.After(a.cfg.RetryEvery):
+		if err == nil {
+			resumed := a.session(conn)
+			conn.Close()
+			a.mu.Lock()
+			a.connected = false
+			a.mu.Unlock()
+			if resumed {
+				// The sink was alive and handshaking; reconnect eagerly.
+				attempt = 0
+				continue
 			}
-			continue
 		}
-		a.session(conn)
-		conn.Close()
+		delay := a.backoff(rng, attempt)
+		attempt++
+		select {
+		case <-a.closed:
+			return
+		case <-time.After(delay):
+		}
 	}
 }
 
-// session drives one connection: handshake, then ship until it breaks.
-func (a *Agent) session(conn net.Conn) {
+// session drives one connection: handshake, then ship until it breaks. It
+// reports whether the sink answered the handshake with Resume (backoff
+// reset).
+func (a *Agent) session(conn net.Conn) bool {
 	hello := Hello{Campaign: a.cfg.Campaign, Testbed: a.cfg.Testbed, Nodes: a.order}
 	if err := writeControl(conn, frameHello, hello); err != nil {
-		return
+		return false
 	}
-	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	conn.SetReadDeadline(time.Now().Add(a.cfg.HelloTimeout))
 	fr, err := ReadFrame(conn)
 	if err != nil {
-		return
+		return false
 	}
 	if fr.Kind == KindReject {
 		// A misconfigured deployment (campaign or shard mismatch) must fail
 		// loudly, not retry forever.
 		a.fatal(fmt.Errorf("collector: sink refused session: %s", fr.Reject.Reason))
-		return
+		return false
 	}
 	if fr.Kind != KindResume {
-		return
+		return false
 	}
 	conn.SetReadDeadline(time.Time{})
 	if !a.applyResume(fr.Resume) {
-		return
+		return false
 	}
 
 	readerDone := make(chan struct{})
+	a.wg.Add(1)
 	go a.reader(conn, readerDone)
 
 	ticker := time.NewTicker(a.cfg.StallTimeout / 2)
 	defer ticker.Stop()
 	doneSent := false
 	for {
-		batches, done := a.collect(&doneSent)
-		for _, b := range batches {
-			raw, err := encodeBatchFrame(b, a.cfg.Codec)
-			if err != nil {
-				a.fatal(err)
-				return
+		entries, done := a.collect(&doneSent)
+		for _, e := range entries {
+			raw := e.raw
+			if raw == nil {
+				raw, err = encodeBatchFrame(e.b, a.cfg.Codec)
+				if err != nil {
+					a.fatal(err)
+					return true
+				}
 			}
 			outs, delay := a.inj.apply(raw)
 			if delay > 0 {
 				time.Sleep(delay)
 			}
 			for _, o := range outs {
-				conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+				conn.SetWriteDeadline(time.Now().Add(a.cfg.IOTimeout))
 				if _, err := conn.Write(o); err != nil {
-					return
+					return true
 				}
 			}
 		}
 		if done != nil {
 			if h := a.inj.flush(); h != nil {
-				conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+				conn.SetWriteDeadline(time.Now().Add(a.cfg.IOTimeout))
 				if _, err := conn.Write(h); err != nil {
-					return
+					return true
 				}
 			}
-			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			conn.SetWriteDeadline(time.Now().Add(a.cfg.IOTimeout))
 			if err := writeControl(conn, frameDone, done); err != nil {
-				return
+				return true
 			}
 		}
 		select {
@@ -327,11 +575,11 @@ func (a *Agent) session(conn net.Conn) {
 		case <-ticker.C:
 			a.maybeStallReset()
 		case <-readerDone:
-			return
+			return true
 		case <-a.fin:
-			return
+			return true
 		case <-a.closed:
-			return
+			return true
 		}
 	}
 }
@@ -353,9 +601,8 @@ func (a *Agent) applyResume(res *Resume) bool {
 		}
 		seen[st.node] = true
 		if c.Seq < st.acked {
-			a.err = fmt.Errorf("collector: sink resumed %s/%s at seq %d below acknowledged %d "+
-				"(checkpoint lost?)", a.cfg.Testbed, st.node, c.Seq, st.acked)
-			a.closeOnce.Do(func() { close(a.closed) })
+			a.fatalLocked(fmt.Errorf("collector: sink resumed %s/%s at seq %d below acknowledged %d "+
+				"(checkpoint lost?)", a.cfg.Testbed, st.node, c.Seq, st.acked))
 			return false
 		}
 		a.pruneLocked(st, c.Seq)
@@ -363,18 +610,18 @@ func (a *Agent) applyResume(res *Resume) bool {
 	}
 	for _, st := range a.streams {
 		if !seen[st.node] {
-			a.err = fmt.Errorf("collector: sink resume is missing stream %s/%s",
-				a.cfg.Testbed, st.node)
-			a.closeOnce.Do(func() { close(a.closed) })
+			a.fatalLocked(fmt.Errorf("collector: sink resume is missing stream %s/%s",
+				a.cfg.Testbed, st.node))
 			return false
 		}
 	}
+	a.connected = true
 	a.lastProgress = time.Now()
 	return true
 }
 
-// pruneLocked drops buffered batches covered by a cumulative ack. Caller
-// holds mu.
+// pruneLocked drops buffered batches covered by a cumulative ack and
+// truncates the spill log's view of them. Caller holds mu.
 func (a *Agent) pruneLocked(st *agentStream, acked uint64) {
 	if acked <= st.acked {
 		return
@@ -383,25 +630,65 @@ func (a *Agent) pruneLocked(st *agentStream, acked uint64) {
 	if drop > len(st.buf) {
 		drop = len(st.buf)
 	}
+	var freed int64
+	if a.wal != nil {
+		for _, e := range st.buf[:drop] {
+			freed += walRecordSize(len(e.raw))
+		}
+	}
 	st.buf = st.buf[:copy(st.buf, st.buf[drop:])]
 	st.acked = acked
 	if st.sentUpTo < st.acked {
 		st.sentUpTo = st.acked
+	}
+	if a.wal != nil {
+		if err := a.wal.noteAck(st.node, acked, freed); err != nil {
+			a.fatalLocked(err)
+			return
+		}
+		a.maybeCompactLocked()
+	}
+}
+
+// maybeCompactLocked rewrites the spill log when acknowledged frames
+// dominate it, keeping exactly the still-unacknowledged buffers. Caller
+// holds mu.
+func (a *Agent) maybeCompactLocked() {
+	if a.wal == nil || !a.wal.shouldCompact() {
+		return
+	}
+	if err := a.flushWALLocked(); err != nil {
+		a.fatalLocked(err)
+		return
+	}
+	var raws [][]byte
+	for _, node := range a.order {
+		for _, e := range a.streams[node].buf {
+			raws = append(raws, e.raw)
+		}
+	}
+	if err := a.wal.compact(raws); err != nil {
+		a.fatalLocked(err)
 	}
 }
 
 // collect gathers the batches to send now (everything assigned but not yet
 // sent on this connection) and, once all data is on the wire and Finish was
 // requested, the Done frame to follow it.
-func (a *Agent) collect(doneSent *bool) ([]*Batch, *Done) {
+func (a *Agent) collect(doneSent *bool) ([]bufEntry, *Done) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	var out []*Batch
+	// Durability before delivery: everything gathered below must already be
+	// in the spill log when it goes on the wire.
+	if err := a.flushWALLocked(); err != nil {
+		a.fatalLocked(err)
+		return nil, nil
+	}
+	var out []bufEntry
 	for _, node := range a.order {
 		st := a.streams[node]
 		for seq := st.sentUpTo + 1; seq <= st.last; seq++ {
-			b := st.buf[int(seq-st.acked-1)]
-			out = append(out, b)
+			out = append(out, st.buf[int(seq-st.acked-1)])
 			a.sent++
 			if seq <= st.maxSent {
 				a.retransmits++
@@ -445,6 +732,7 @@ func (a *Agent) maybeStallReset() {
 
 // reader consumes the sink's acknowledgements and the final Fin.
 func (a *Agent) reader(conn net.Conn, done chan struct{}) {
+	defer a.wg.Done()
 	defer close(done)
 	for {
 		fr, err := ReadFrame(conn)

@@ -68,6 +68,9 @@ type LogAnalyzer struct {
 	// node's records. Without a clock the watermark falls back to the last
 	// shipped record's timestamp.
 	Clock func() sim.Time
+	// DialTimeout bounds one connection attempt to the repository (default
+	// 5 s).
+	DialTimeout time.Duration
 
 	test   *logging.TestLog
 	sys    *logging.SystemLog
@@ -109,7 +112,11 @@ func (a *LogAnalyzer) FlushOnce() error {
 			a.sys.Append(e)
 		}
 	}
-	conn, err := net.DialTimeout("tcp", a.addr, 5*time.Second)
+	dialTimeout := a.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", a.addr, dialTimeout)
 	if err != nil {
 		putBack()
 		return fmt.Errorf("collector: dial repository: %w", err)

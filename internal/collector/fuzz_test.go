@@ -90,6 +90,132 @@ func batchEqual(a, b *Batch) bool {
 	return true
 }
 
+// FuzzControlFrame throws arbitrary byte streams at the control-plane
+// surface of ReadFrame — the hello/resume/ack/done/fin/reject JSON frames a
+// malformed or hostile peer can send a sink or an agent. The decoder must
+// never panic or hang; whatever it accepts must carry the right payload for
+// its kind byte, and accepted control frames must survive a re-encode with
+// writeControl and re-decode to the same kind (the handshake's round-trip
+// law).
+//
+// The seed corpus is every control frame the real session writes, plus
+// truncations and kind-byte corruptions of each.
+func FuzzControlFrame(f *testing.F) {
+	id := CampaignID{Seed: 7, Duration: 24 * sim.Hour, Scenario: 3}
+	seeds := []struct {
+		kind    byte
+		payload any
+	}{
+		{frameHello, &Hello{Campaign: id, Testbed: "random", Nodes: []string{"a1", "napA"}}},
+		{frameResume, &Resume{Cursors: []StreamCursor{{Node: "a1", Seq: 12, Watermark: 3 * sim.Hour}}}},
+		{frameAck, &Ack{Node: "a1", Seq: 12, Watermark: 3 * sim.Hour}},
+		{frameDone, &Done{Testbed: "random", Duration: 24 * sim.Hour,
+			Final: []StreamCursor{{Node: "a1", Seq: 24}}}},
+		{frameFin, &Fin{}},
+		{frameReject, &Reject{Reason: "campaign mismatch"}},
+	}
+	for _, s := range seeds {
+		var buf bytes.Buffer
+		if err := writeControl(&buf, s.kind, s.payload); err != nil {
+			f.Fatal(err)
+		}
+		frame := buf.Bytes()
+		f.Add(frame)
+		f.Add(frame[:len(frame)/2])
+		mangled := append([]byte(nil), frame...)
+		mangled[4] ^= 0xFF
+		f.Add(mangled)
+		empty := append([]byte(nil), frame[:5]...) // kind with no payload
+		f.Add(empty)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return // rejected garbage is the expected outcome
+		}
+		// An accepted frame must carry the payload its kind promises.
+		var rekind byte
+		var payload any
+		switch fr.Kind {
+		case KindBatch:
+			return // FuzzDecode owns the data plane
+		case KindHello:
+			if fr.Hello == nil {
+				t.Fatal("accepted hello frame with nil payload")
+			}
+			rekind, payload = frameHello, fr.Hello
+		case KindResume:
+			if fr.Resume == nil {
+				t.Fatal("accepted resume frame with nil payload")
+			}
+			rekind, payload = frameResume, fr.Resume
+		case KindAck:
+			if fr.Ack == nil {
+				t.Fatal("accepted ack frame with nil payload")
+			}
+			rekind, payload = frameAck, fr.Ack
+		case KindDone:
+			if fr.Done == nil {
+				t.Fatal("accepted done frame with nil payload")
+			}
+			rekind, payload = frameDone, fr.Done
+		case KindFin:
+			rekind, payload = frameFin, &Fin{}
+		case KindReject:
+			if fr.Reject == nil {
+				t.Fatal("accepted reject frame with nil payload")
+			}
+			rekind, payload = frameReject, fr.Reject
+		default:
+			t.Fatalf("accepted frame of unknown kind %d", fr.Kind)
+		}
+		var buf bytes.Buffer
+		if err := writeControl(&buf, rekind, payload); err != nil {
+			t.Fatalf("re-encode of accepted control frame failed: %v", err)
+		}
+		again, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-decode of accepted control frame failed: %v", err)
+		}
+		if again.Kind != fr.Kind {
+			t.Fatalf("round-trip changed the frame kind: %d -> %d", fr.Kind, again.Kind)
+		}
+	})
+}
+
+// TestFuzzControlSeedCorpusRoundTrips drives each real control frame
+// through writeControl/ReadFrame on every `go test` run even without -fuzz.
+func TestFuzzControlSeedCorpusRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	id := CampaignID{Seed: 7, Duration: 24 * sim.Hour, Scenario: 3}
+	if err := writeControl(&buf, frameHello, &Hello{Campaign: id, Testbed: "random",
+		Nodes: []string{"a1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeControl(&buf, frameAck, &Ack{Node: "a1", Seq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeControl(&buf, frameFin, &Fin{}); err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []FrameKind{KindHello, KindAck, KindFin}
+	for i, want := range wantKinds {
+		fr, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if fr.Kind != want {
+			t.Fatalf("frame %d: kind %d, want %d", i, fr.Kind, want)
+		}
+	}
+	if fr := (&Frame{}); fr.Kind != KindBatch {
+		t.Fatal("zero Frame is not a batch frame") // pins the kind enum's zero
+	}
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 2, 9, '{', '}'})); err == nil {
+		t.Error("unknown kind byte 9 decoded without error")
+	}
+}
+
 // TestFuzzSeedCorpusRoundTrips runs the fuzz body over the seed corpus
 // directly, so the round-trip law is enforced on every `go test` run even
 // without -fuzz.

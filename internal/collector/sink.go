@@ -2,9 +2,10 @@ package collector
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"net"
-	"os"
 	"sync"
 	"time"
 
@@ -67,11 +68,21 @@ type SinkConfig struct {
 	Spec analysis.StreamSpec
 	// CheckpointPath enables durable checkpoints at this file; empty runs
 	// the sink in memory only (acknowledgements then cover applied batches
-	// immediately, and a crash loses the campaign).
+	// immediately, and a crash loses the campaign). Checkpoints carry a
+	// CRC/length guard trailer and every write keeps the previous good file
+	// as CheckpointPath+".prev": restore rejects a torn or truncated
+	// checkpoint and falls back to the previous one instead of silently
+	// resuming from garbage.
 	CheckpointPath string
 	// CheckpointEvery is the number of received batch frames between
 	// checkpoints (default 64; 1 checkpoints after every frame).
 	CheckpointEvery int
+	// HelloTimeout bounds the wait for a new connection's Hello frame
+	// (default 10 s); a connection that says nothing is dropped.
+	HelloTimeout time.Duration
+	// WriteTimeout bounds each control frame write to an agent (default
+	// 5 s); a stuck agent connection is dropped, the agent resumes.
+	WriteTimeout time.Duration
 }
 
 // skey identifies one stream.
@@ -80,15 +91,16 @@ type skey struct{ testbed, node string }
 // sinkSession serializes writes to one agent connection (acknowledgements
 // and Fin can be written from another session's completion path).
 type sinkSession struct {
-	conn net.Conn
-	wmu  sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
+	wmu     sync.Mutex
 }
 
 // send writes one control frame to the session's connection.
 func (s *sinkSession) send(kind byte, payload any) error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	s.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	s.conn.SetWriteDeadline(time.Now().Add(s.timeout))
 	return writeControl(s.conn, kind, payload)
 }
 
@@ -118,6 +130,12 @@ func NewSink(cfg SinkConfig) (*Sink, error) {
 	if cfg.CheckpointEvery <= 0 {
 		cfg.CheckpointEvery = 64
 	}
+	if cfg.HelloTimeout <= 0 {
+		cfg.HelloTimeout = 10 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 5 * time.Second
+	}
 	s := &Sink{
 		cfg:       cfg,
 		ackable:   make(map[skey]StreamCursor),
@@ -130,7 +148,7 @@ func NewSink(cfg SinkConfig) (*Sink, error) {
 		done:      make(chan struct{}),
 	}
 	if cfg.CheckpointPath != "" {
-		if blob, err := os.ReadFile(cfg.CheckpointPath); err == nil {
+		if blob, err := ReadFileDurable(cfg.CheckpointPath); err == nil {
 			var cp sinkCheckpoint
 			if err := json.Unmarshal(blob, &cp); err != nil {
 				return nil, fmt.Errorf("collector: corrupt sink checkpoint %s: %w", cfg.CheckpointPath, err)
@@ -148,7 +166,7 @@ func NewSink(cfg SinkConfig) (*Sink, error) {
 			}
 			s.str = str
 			s.loadCheckpointMeta(&cp)
-		} else if !os.IsNotExist(err) {
+		} else if !errors.Is(err, fs.ErrNotExist) {
 			return nil, fmt.Errorf("collector: read sink checkpoint: %w", err)
 		}
 	}
@@ -235,7 +253,7 @@ func (s *Sink) acceptLoop() {
 
 // serve drives one agent session.
 func (s *Sink) serve(conn net.Conn) {
-	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	conn.SetReadDeadline(time.Now().Add(s.cfg.HelloTimeout))
 	fr, err := ReadFrame(conn)
 	if err != nil || fr.Kind != KindHello {
 		return
@@ -255,7 +273,7 @@ func (s *Sink) serve(conn net.Conn) {
 			"unknown shard %q or node set not in the sink's spec", hello.Testbed)})
 		return
 	}
-	sess := &sinkSession{conn: conn}
+	sess := &sinkSession{conn: conn, timeout: s.cfg.WriteTimeout}
 	res := Resume{}
 	s.mu.Lock()
 	s.sessions[hello.Testbed] = sess
@@ -369,9 +387,10 @@ func (s *Sink) handleDone(d *Done) {
 	s.checkCompletion()
 }
 
-// checkpointLocked serializes the full sink state to the checkpoint file
-// with an atomic rename, then advances the acknowledgeable cursors to what
-// the checkpoint covers. Caller holds mu.
+// checkpointLocked serializes the full sink state to the checkpoint file —
+// guard trailer, previous-good rotation and atomic rename via
+// WriteFileDurable — then advances the acknowledgeable cursors to what the
+// checkpoint covers. Caller holds mu.
 func (s *Sink) checkpointLocked() error {
 	cp, err := s.str.Checkpoint()
 	if err != nil {
@@ -382,11 +401,7 @@ func (s *Sink) checkpointLocked() error {
 	if err != nil {
 		return err
 	}
-	tmp := s.cfg.CheckpointPath + ".tmp"
-	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, s.cfg.CheckpointPath); err != nil {
+	if err := WriteFileDurable(s.cfg.CheckpointPath, blob); err != nil {
 		return err
 	}
 	s.sinceCP = 0

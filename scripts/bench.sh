@@ -4,9 +4,11 @@
 # the day-scale throughput metric (ns/op, B/op, allocs/op — comparable back
 # to PR 1), the month-scale streaming benchmark with its live-heap metric
 # (O(1) in campaign days) and the retained 30-day control, plus the
-# scatternet day benchmark (4 piconets, 3 bridges, streaming — PR 3) and the
+# scatternet day benchmark (4 piconets, 3 bridges, streaming — PR 3), the
 # wall-clock seconds of the end-to-end multi-process collection smoke
-# (sink + 2 agents over loopback, clean + kill/resume passes — PR 5).
+# (sink + 2 agents over loopback, clean + kill/resume passes — PR 5), and
+# the agent-side WAL overhead ratio (streaming day shipped through a real
+# agent/sink pair with and without the spill log — PR 6; budget: < 0.15).
 # Usage: scripts/bench.sh [day-benchtime] [month-benchtime]
 set -eu
 
@@ -24,11 +26,14 @@ smoke_secs="$(($(date +%s) - smoke_start))"
 
 day_out="$(go test -run '^$' -bench '^BenchmarkCampaignDay$' -benchtime "$day_benchtime" -benchmem . | tee /dev/stderr)"
 month_out="$(go test -run '^$' -bench '^Benchmark(CampaignMonth|ScatternetDay)' -benchtime "$month_benchtime" -benchmem . | tee /dev/stderr)"
+# The agent pair is cheap per op; a fixed high count keeps the overhead
+# ratio stable against scheduler noise.
+agent_out="$(go test -run '^$' -bench '^BenchmarkAgentStreamDay' -benchtime 100x -benchmem ./internal/collector | tee /dev/stderr)"
 
-printf '%s\n%s\n' "$day_out" "$month_out" | awk -v smoke="$smoke_secs" '
+printf '%s\n%s\n%s\n' "$day_out" "$month_out" "$agent_out" | awk -v smoke="$smoke_secs" '
 # Benchmark lines interleave custom metrics with the standard ones, so pick
 # values by their unit token instead of field position.
-/^Benchmark(Campaign|Scatternet)/ {
+/^Benchmark(Campaign|Scatternet|Agent)/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     ns = bytes = allocs = live = items = outages = ""
     for (i = 2; i <= NF; i++) {
@@ -43,12 +48,15 @@ printf '%s\n%s\n' "$day_out" "$month_out" | awk -v smoke="$smoke_secs" '
     if (name == "BenchmarkCampaignMonth") { m_ns = ns; m_b = bytes; m_a = allocs; m_live = live; m_items = items }
     if (name == "BenchmarkCampaignMonthRetained") { r_live = live }
     if (name == "BenchmarkScatternetDay") { s_ns = ns; s_b = bytes; s_a = allocs; s_live = live; s_items = items; s_out = outages }
+    if (name == "BenchmarkAgentStreamDay") { ag_ns = ns }
+    if (name == "BenchmarkAgentStreamDaySpill") { ags_ns = ns }
 }
 END {
     if (d_ns == "" || d_b == "" || d_a == "" || d_live == "" ||
         m_ns == "" || m_b == "" || m_a == "" || m_live == "" ||
         m_items == "" || r_live == "" ||
-        s_ns == "" || s_b == "" || s_a == "" || s_live == "" || s_items == "" || s_out == "") {
+        s_ns == "" || s_b == "" || s_a == "" || s_live == "" || s_items == "" || s_out == "" ||
+        ag_ns == "" || ags_ns == "") {
         print "bench.sh: missing benchmark lines or metrics" > "/dev/stderr"
         exit 1
     }
@@ -78,6 +86,9 @@ END {
     printf "    \"items\": %s,\n", s_items
     printf "    \"correlated_outages\": %s\n", s_out
     printf "  },\n"
+    printf "  \"agent_stream_day_ns\": %s,\n", ag_ns
+    printf "  \"agent_stream_day_spill_ns\": %s,\n", ags_ns
+    printf "  \"agent_wal_overhead_ratio\": %.4f,\n", (ags_ns - ag_ns) / ag_ns
     printf "  \"distributed_smoke_seconds\": %s\n", smoke
     printf "}\n"
 }' >BENCH_campaign.json

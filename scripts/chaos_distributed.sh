@@ -1,0 +1,93 @@
+#!/bin/sh
+# chaos_distributed.sh is the kill-storm proof of the collection plane's
+# crash tolerance with real processes: it runs one btsink (checkpointing)
+# and two btagent shards (spilling to a shared WAL directory) over loopback
+# TCP, and on a fixed schedule SIGKILLs all three mid-campaign, then
+# restarts them with identical flags. After the storm the campaign runs to
+# completion and the sink's report must be byte-identical to
+# `btcampaign -stream` on the same seeds — ARCHITECTURE.md invariant 9,
+# extended to agent crashes. The Go-level twin is TestChaosAgentSinkKillStorm.
+# CI runs this in the chaos job; it is bounded to roughly a minute.
+# Usage: scripts/chaos_distributed.sh [days] [seed]
+set -eu
+
+cd "$(dirname "$0")/.."
+days="${1:-2}"
+seed="${2:-1}"
+tmp="$(mktemp -d)"
+port=$((23000 + $$ % 20000))
+addr="127.0.0.1:$port"
+ckpt="$tmp/sink.ckpt"
+spill="$tmp/spill"
+cleanup() {
+    # shellcheck disable=SC2046
+    kill -9 $(jobs -p) 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/btsink" ./cmd/btsink
+go build -o "$tmp/btagent" ./cmd/btagent
+go build -o "$tmp/btcampaign" ./cmd/btcampaign
+
+# Reference: the single-process streaming campaign's report (skip the
+# banner; the report starts at the "collected" line).
+"$tmp/btcampaign" -seed "$seed" -days "$days" -stream >"$tmp/ref_raw.txt"
+sed -n '/^collected /,$p' "$tmp/ref_raw.txt" >"$tmp/ref.txt"
+[ -s "$tmp/ref.txt" ] || { echo "chaos_distributed: empty reference report" >&2; exit 1; }
+
+# start_all ROUND launches the full plane with flags identical across
+# rounds — a restart after kill -9 must need nothing but the same command
+# line. Fault injection stays on the whole time, so every incarnation also
+# rides a lossy, duplicating, reordering network.
+start_all() {
+    "$tmp/btsink" -addr "$addr" -seed "$seed" -days "$days" \
+        -checkpoint "$ckpt" -checkpoint-every 8 -timeout 10m \
+        >"$tmp/sink_out_$1.txt" 2>"$tmp/sink_err_$1.log" &
+    sink_pid=$!
+    "$tmp/btagent" -sink "$addr" -testbed random -seed "$seed" -days "$days" \
+        -spill-dir "$spill" -drop 0.05 -dup 0.05 -reorder 0.1 -fault-seed 5 \
+        2>"$tmp/agent_r_$1.log" &
+    a1=$!
+    "$tmp/btagent" -sink "$addr" -testbed realistic -seed "$seed" -days "$days" \
+        -spill-dir "$spill" -drop 0.05 -dup 0.05 -reorder 0.1 -fault-seed 6 \
+        2>"$tmp/agent_e_$1.log" &
+    a2=$!
+}
+
+# The storm: a fixed schedule of short lives, each ended by kill -9 of all
+# three processes at once — no graceful shutdown, no final flush, only the
+# spill logs and the checkpoint survive. If a round finishes the campaign
+# before its kill lands, its report is the final output.
+final=""
+round=0
+for pause in 0.4 0.6 0.5 0.7 0.45; do
+    round=$((round + 1))
+    start_all "$round"
+    sleep "$pause"
+    kill -9 "$sink_pid" "$a1" "$a2" 2>/dev/null || true
+    wait "$sink_pid" 2>/dev/null || true
+    wait "$a1" 2>/dev/null || true
+    wait "$a2" 2>/dev/null || true
+    if grep -q '^collected ' "$tmp/sink_out_$round.txt" 2>/dev/null; then
+        final="$tmp/sink_out_$round.txt"
+        echo "chaos_distributed: campaign completed during round $round"
+        break
+    fi
+done
+
+# Survivors' round: same flags, no kill — the campaign must now finish.
+if [ -z "$final" ]; then
+    round=$((round + 1))
+    start_all "$round"
+    wait "$a1" || { echo "chaos_distributed: random agent failed after the storm" >&2; exit 1; }
+    wait "$a2" || { echo "chaos_distributed: realistic agent failed after the storm" >&2; exit 1; }
+    wait "$sink_pid" || { echo "chaos_distributed: sink failed after the storm" >&2; exit 1; }
+    final="$tmp/sink_out_$round.txt"
+fi
+
+if ! diff -u "$tmp/ref.txt" "$final"; then
+    echo "chaos_distributed: post-storm report differs from btcampaign -stream" >&2
+    exit 1
+fi
+echo "chaos_distributed: OK ($round rounds, report byte-identical after kill storm)"

@@ -40,7 +40,10 @@ type SweepConfig struct {
 	// whose file already exists on a later run — an interrupted month-scale
 	// sweep resumes instead of restarting, with CI tables bit-identical to
 	// an uninterrupted sweep (the restored seeds answer through the same
-	// aggregate code paths). Streaming, non-scatternet sweeps only.
+	// aggregate code paths). Files carry the collector's torn-write guard
+	// trailer: a sweep killed mid-write leaves a detectably-torn file that
+	// the next run rejects in favor of the rotated previous copy (or simply
+	// recomputes the seed). Streaming, non-scatternet sweeps only.
 	CheckpointDir string
 	// Piconets/Bridges/Topology/Redundancy/HoldTime switch the sweep to
 	// scatternet campaigns: when any of them is set, every seed runs a
