@@ -28,6 +28,11 @@
 // Flags:
 //
 //	-sink ADDR       sink address (default 127.0.0.1:9310)
+//	-keyspace K      campaign keyspace on a multi-tenant sink (default "":
+//	                 the sink's default keyspace). Retryable rejects —
+//	                 unknown-campaign, over-quota, draining — make the agent
+//	                 back off and retry; fatal ones (campaign-mismatch,
+//	                 unknown-shard) end it with an error.
 //	-testbed T       shard to run: random or realistic (required)
 //	-seed N          campaign seed (default 1); must match the sink's
 //	-days D          virtual campaign days 1..540 (default 4); must match
@@ -64,6 +69,7 @@ import (
 
 func main() {
 	sinkAddr := flag.String("sink", "127.0.0.1:9310", "sink address")
+	keyspace := flag.String("keyspace", "", "campaign keyspace on a multi-tenant sink")
 	shard := flag.String("testbed", "", "testbed shard: random or realistic")
 	seed := flag.Uint64("seed", 1, "campaign seed (must match the sink)")
 	days := flag.Int("days", 4, "virtual campaign days 1..540 (must match the sink)")
@@ -119,7 +125,7 @@ func main() {
 	jitter := fnv.New64a()
 	jitter.Write([]byte(opts.Name))
 	agent, err := collector.NewAgent(collector.AgentConfig{
-		Addr: *sinkAddr,
+		Addr: *sinkAddr, Keyspace: *keyspace,
 		Campaign: collector.CampaignID{Seed: *seed, Duration: duration,
 			Scenario: *scenario},
 		Testbed: opts.Name, Nodes: nodes, Codec: codec,

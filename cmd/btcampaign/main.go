@@ -48,7 +48,14 @@
 //	-json FILE       sweep mode: also write the CI tables as JSON (the
 //	                 input of docs/CONVERGENCE.md)
 //	-checkpoint-dir D  sweep mode: persist each completed seed in D and
-//	                 resume interrupted sweeps (streaming sweeps only)
+//	                 resume interrupted sweeps (streaming sweeps only).
+//	                 This is per-seed sweep resume, not the distributed
+//	                 plane's crash tolerance: for campaigns run as real
+//	                 processes, sink durability is btsink's -checkpoint /
+//	                 -checkpoint-dir and agent durability is btagent's
+//	                 -spill-dir/-spill-budget write-ahead spill log — the
+//	                 two compose, and OPERATIONS.md's crash matrix says
+//	                 which flag recovers which failure
 //	-scatternet      run a multi-piconet scatternet campaign
 //	-piconets P      scatternet piconet count (default 2)
 //	-bridges K       scatternet bridge count for the legacy ring pairing

@@ -1,0 +1,103 @@
+// Command btmerge folds the partials exported by horizontally sharded
+// btsink processes (-partial-dir) into the one campaign report a single
+// sink hosting every testbed would have printed — byte-identical to
+// `btcampaign -stream` at the same seeds, which is the property the
+// multi-tenant chaos script asserts.
+//
+// Each partial carries one shard's finalized aggregates plus the
+// fold-ordered dependability event trace; the merge combines the
+// order-insensitive state algebraically and replays the merged trace
+// through a fresh accumulator, so the order-sensitive Table 4 statistics
+// come out exactly as an unsharded run computes them (the merge laws are
+// pinned by the analysis and collector test suites). The partials must
+// disjointly cover the campaign's testbeds and agree on the campaign
+// identity, or the merge fails loudly.
+//
+// Usage:
+//
+//	btmerge [flags] PARTIAL.json...
+//
+// Flags:
+//
+//	-seed N          campaign seed (default 1); must match the partials'
+//	-days D          virtual campaign days 1..540 (default 4); must match
+//	-scenario 1..4   recovery regime (default 3); must match the partials'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	btpan "repro"
+	"repro/internal/collector"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "campaign seed (must match the partials)")
+	days := flag.Int("days", 4, "virtual campaign days 1..540 (must match the partials)")
+	scenario := flag.Int("scenario", int(btpan.ScenarioSIRAs),
+		"recovery scenario 1..4 (must match the partials)")
+	flag.Parse()
+
+	if *days < 1 || *days > 540 {
+		fatal(fmt.Errorf("-days %d out of range 1..540", *days))
+	}
+	if flag.NArg() == 0 {
+		fatal(fmt.Errorf("no partial files given (usage: btmerge [flags] PARTIAL.json...)"))
+	}
+	cfg := btpan.CampaignConfig{
+		Seed:      *seed,
+		Duration:  sim.Time(*days) * sim.Day,
+		Scenario:  btpan.Scenario(*scenario),
+		Streaming: true,
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	campaign := collector.CampaignID{Seed: *seed, Duration: cfg.Duration, Scenario: *scenario}
+
+	parts := make([]*collector.Partial, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		// Partials are trailer-guarded durable writes; a partial torn by a
+		// sink crash mid-export is rejected here rather than half-merged.
+		blob, err := collector.ReadFileDurable(path)
+		if err != nil {
+			fatal(err)
+		}
+		var p collector.Partial
+		if err := json.Unmarshal(blob, &p); err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		if p.Campaign != campaign {
+			fatal(fmt.Errorf("%s: partial is from campaign seed %d, %v, scenario %d "+
+				"(flags say seed %d, %v, scenario %d)", path,
+				p.Campaign.Seed, p.Campaign.Duration, p.Campaign.Scenario,
+				*seed, cfg.Duration, *scenario))
+		}
+		parts = append(parts, &p)
+	}
+
+	rep, err := collector.MergePartials(testbed.CampaignStreamSpec(), parts)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := btpan.ResultFromAggregates(cfg, rep.Agg, rep.Counters, rep.Durations)
+	if err != nil {
+		fatal(err)
+	}
+	btpan.WriteReport(os.Stdout, res)
+	if rep.Agg.SeqGaps > 0 || rep.Agg.DroppedRecords > 0 {
+		fatal(fmt.Errorf("data loss: %d sequence gaps, %d dropped records",
+			rep.Agg.SeqGaps, rep.Agg.DroppedRecords))
+	}
+}
+
+// fatal prints the error and exits non-zero.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "btmerge:", err)
+	os.Exit(1)
+}

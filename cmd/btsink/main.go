@@ -1,26 +1,38 @@
 // Command btsink hosts the distributed collection plane's central
-// repository: the streaming aggregator for one campaign, fed by btagent
-// shard processes over TCP. It applies sequenced batches exactly once,
-// acknowledges durable progress, and — once every declared shard has
-// delivered all of its data and its Done frame — prints the merged campaign
-// report (Tables 2, 3, the Table 4 column and the §6 scalars) in exactly
-// the format `btcampaign -stream` prints for the same seeds, which is the
-// bit-identity the multi-process smoke test asserts.
+// repository. In its original single-campaign mode it is the streaming
+// aggregator for one campaign, fed by btagent shard processes over TCP: it
+// applies sequenced batches exactly once, acknowledges durable progress,
+// and — once every declared shard has delivered all of its data and its
+// Done frame — prints the merged campaign report (Tables 2, 3, the Table 4
+// column and the §6 scalars) in exactly the format `btcampaign -stream`
+// prints for the same seeds, which is the bit-identity the multi-process
+// smoke test asserts.
 //
-// With -checkpoint the sink periodically persists its full aggregation
-// state (atomic rename, CRC/length guard trailer, previous good file kept
-// as FILE.prev) and acknowledges only checkpoint-covered batches: kill it
-// at any instant, restart it with the same flags, and the agents resume
-// from the last checkpoint to the same digits. A checkpoint torn by a
-// crash mid-write is detected by its trailer and restore falls back to
-// FILE.prev instead of resuming from garbage. See PROTOCOL.md for the wire
-// format and OPERATIONS.md for a crash-resume walkthrough and crash matrix.
+// With repeated -campaign flags it is instead a long-lived multi-tenant
+// service hosting many concurrent campaigns, each in its own keyspace with
+// its own checkpoint file, ingest quotas and completion state. A keyspace
+// may host only a subset of its campaign's testbeds — one shard of a
+// horizontally sharded deployment — in which case its completed state is
+// exported as a partial (-partial-dir) for cmd/btmerge to fold into the
+// full campaign report. SIGTERM/SIGINT trigger a graceful drain: every
+// keyspace's checkpoint is sealed, live sessions get a retryable draining
+// Reject, and the process exits 0 so a replacement can take over from the
+// checkpoint files.
+//
+// With -checkpoint (or -checkpoint-dir) the sink periodically persists its
+// full aggregation state (atomic rename, CRC/length guard trailer, previous
+// good file kept as FILE.prev) and acknowledges only checkpoint-covered
+// batches: kill it at any instant, restart it with the same flags, and the
+// agents resume from the last checkpoint to the same digits. A checkpoint
+// torn by a crash mid-write is detected by its trailer and restore falls
+// back to FILE.prev instead of resuming from garbage. See PROTOCOL.md for
+// the wire format and OPERATIONS.md for deployment walkthroughs.
 //
 // Usage:
 //
 //	btsink [flags]
 //
-// Flags:
+// Single-campaign flags (the default keyspace):
 //
 //	-addr ADDR           TCP listen address (default 127.0.0.1:9310)
 //	-seed N              campaign seed (default 1); must match the agents'
@@ -31,19 +43,145 @@
 //	-checkpoint-every N  batch frames between checkpoints (default 64)
 //	-timeout D           campaign completion timeout, e.g. 30m (default 0:
 //	                     wait forever)
+//
+// Multi-tenant flags:
+//
+//	-campaign SPEC       host one campaign keyspace (repeatable). SPEC is
+//	                     comma-separated key=value pairs:
+//	                       key=K            keyspace name (required)
+//	                       seed=N           campaign seed (required)
+//	                       days=D           virtual days 1..540 (default 4)
+//	                       scenario=1..4    recovery regime (default 3)
+//	                       testbeds=A+B     testbed subset this sink hosts
+//	                                        (default: all; subsets record the
+//	                                        depend trace for btmerge)
+//	                       quota-bytes=N    ingest byte quota (0 = unlimited)
+//	                       quota-batches=N  ingest batch quota (0 = unlimited)
+//	-serve               always-on service mode: start with no campaigns and
+//	                     accept registrations over HTTP (-http required)
+//	-checkpoint-dir DIR  per-keyspace checkpoints at DIR/<key>.ckpt
+//	-partial-dir DIR     write DIR/<key>.partial.json when a keyspace
+//	                     completes (the btmerge input)
+//	-report-dir DIR      write DIR/<key>.report when a full-campaign keyspace
+//	                     completes (canonical btcampaign format)
+//	-http ADDR           serve the observability API (/healthz, /readyz,
+//	                     /metricsz, /campaigns, live tables) on ADDR
+//	-memory-budget N     delay acks while more than N records are buffered
+//	                     across all keyspaces (0 = no backpressure)
 package main
 
 import (
-	"flag"
+	"encoding/json"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
 	"time"
 
+	"flag"
+
 	btpan "repro"
+	"repro/internal/analysis"
 	"repro/internal/collector"
 	"repro/internal/sim"
 	"repro/internal/testbed"
 )
+
+// campaignFlag is one parsed -campaign SPEC.
+type campaignFlag struct {
+	key          string
+	seed         uint64
+	days         int
+	scenario     int
+	testbeds     []string
+	quotaBytes   int64
+	quotaBatches int
+}
+
+// campaignFlags collects repeated -campaign values.
+type campaignFlags []campaignFlag
+
+// String renders the accumulated specs (flag.Value).
+func (c *campaignFlags) String() string {
+	var parts []string
+	for _, cf := range *c {
+		parts = append(parts, cf.key)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set parses one -campaign SPEC (flag.Value).
+func (c *campaignFlags) Set(v string) error {
+	cf := campaignFlag{days: 4, scenario: int(btpan.ScenarioSIRAs)}
+	seenKey, seenSeed := false, false
+	for _, pair := range strings.Split(v, ",") {
+		k, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("-campaign %q: %q is not key=value", v, pair)
+		}
+		var err error
+		switch k {
+		case "key":
+			cf.key, seenKey = val, true
+		case "seed":
+			cf.seed, err = strconv.ParseUint(val, 10, 64)
+			seenSeed = true
+		case "days":
+			cf.days, err = strconv.Atoi(val)
+		case "scenario":
+			cf.scenario, err = strconv.Atoi(val)
+		case "testbeds":
+			cf.testbeds = strings.Split(val, "+")
+		case "quota-bytes":
+			cf.quotaBytes, err = strconv.ParseInt(val, 10, 64)
+		case "quota-batches":
+			cf.quotaBatches, err = strconv.Atoi(val)
+		default:
+			return fmt.Errorf("-campaign %q: unknown field %q", v, k)
+		}
+		if err != nil {
+			return fmt.Errorf("-campaign %q: field %q: %v", v, k, err)
+		}
+	}
+	if !seenKey || !seenSeed {
+		return fmt.Errorf("-campaign %q: key= and seed= are required", v)
+	}
+	if cf.days < 1 || cf.days > 540 {
+		return fmt.Errorf("-campaign %q: days %d out of range 1..540", v, cf.days)
+	}
+	*c = append(*c, cf)
+	return nil
+}
+
+// keyspace builds the collector keyspace for one parsed campaign.
+func (cf *campaignFlag) keyspace(checkpointDir string) (collector.KeyspaceConfig, error) {
+	spec := testbed.CampaignStreamSpec()
+	if len(cf.testbeds) > 0 {
+		var err error
+		if spec, err = analysis.SubSpec(spec, cf.testbeds); err != nil {
+			return collector.KeyspaceConfig{}, fmt.Errorf("campaign %q: %w", cf.key, err)
+		}
+	}
+	ks := collector.KeyspaceConfig{
+		Key: cf.key,
+		Campaign: collector.CampaignID{Seed: cf.seed,
+			Duration: sim.Time(cf.days) * sim.Day, Scenario: cf.scenario},
+		Spec:         spec,
+		ScenarioName: fmt.Sprint(btpan.Scenario(cf.scenario)),
+		MaxBytes:     cf.quotaBytes,
+		MaxBatches:   cf.quotaBatches,
+	}
+	if checkpointDir != "" {
+		ks.CheckpointPath = filepath.Join(checkpointDir, cf.key+".ckpt")
+	}
+	return ks, nil
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9310", "TCP listen address")
@@ -54,41 +192,184 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "checkpoint file (empty disables durability)")
 	every := flag.Int("checkpoint-every", 64, "batch frames between checkpoints")
 	timeout := flag.Duration("timeout", 0, "campaign completion timeout (0 = forever)")
+	var campaigns campaignFlags
+	flag.Var(&campaigns, "campaign", "host one campaign keyspace (repeatable; see package doc)")
+	serve := flag.Bool("serve", false, "always-on service mode (campaigns register over HTTP)")
+	checkpointDir := flag.String("checkpoint-dir", "", "per-keyspace checkpoint directory")
+	partialDir := flag.String("partial-dir", "", "write <key>.partial.json here on keyspace completion")
+	reportDir := flag.String("report-dir", "", "write <key>.report here when a full-campaign keyspace completes")
+	httpAddr := flag.String("http", "", "observability HTTP listen address (empty disables)")
+	memoryBudget := flag.Int("memory-budget", 0, "buffered record count above which acks are delayed (0 = off)")
 	flag.Parse()
 
-	if *days < 1 || *days > 540 {
-		fatal(fmt.Errorf("-days %d out of range 1..540", *days))
+	multi := len(campaigns) > 0 || *serve
+	if *serve && *httpAddr == "" {
+		fatal(fmt.Errorf("-serve needs -http to accept campaign registrations"))
 	}
-	cfg := btpan.CampaignConfig{
-		Seed:      *seed,
-		Duration:  sim.Time(*days) * sim.Day,
-		Scenario:  btpan.Scenario(*scenario),
-		Streaming: true,
+
+	cfg := collector.SinkConfig{
+		Addr:            *addr,
+		CheckpointEvery: *every,
+		MemoryBudget:    *memoryBudget,
+		AllowEmpty:      *serve,
+		SpecResolver: func(c collector.CampaignID, testbeds []string) (analysis.StreamSpec, error) {
+			if len(testbeds) == 0 {
+				return testbed.CampaignStreamSpec(), nil
+			}
+			return analysis.SubSpec(testbed.CampaignStreamSpec(), testbeds)
+		},
 	}
-	if err := cfg.Validate(); err != nil {
-		fatal(err)
+	var legacy btpan.CampaignConfig
+	if !multi {
+		if *days < 1 || *days > 540 {
+			fatal(fmt.Errorf("-days %d out of range 1..540", *days))
+		}
+		legacy = btpan.CampaignConfig{
+			Seed:      *seed,
+			Duration:  sim.Time(*days) * sim.Day,
+			Scenario:  btpan.Scenario(*scenario),
+			Streaming: true,
+		}
+		if err := legacy.Validate(); err != nil {
+			fatal(err)
+		}
+		cfg.Campaign = collector.CampaignID{Seed: *seed, Duration: legacy.Duration,
+			Scenario: *scenario}
+		cfg.Spec = testbed.CampaignStreamSpec()
+		cfg.CheckpointPath = *checkpoint
 	}
-	sink, err := collector.NewSink(collector.SinkConfig{
-		Addr: *addr,
-		Campaign: collector.CampaignID{Seed: *seed, Duration: cfg.Duration,
-			Scenario: *scenario},
-		Spec:           testbed.CampaignStreamSpec(),
-		CheckpointPath: *checkpoint, CheckpointEvery: *every,
-	})
+	for _, cf := range campaigns {
+		ks, err := cf.keyspace(*checkpointDir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Keyspaces = append(cfg.Keyspaces, ks)
+	}
+
+	sink, err := collector.NewSink(cfg)
 	if err != nil {
 		fatal(err)
 	}
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatal(fmt.Errorf("http listen %s: %w", *httpAddr, err))
+		}
+		fmt.Fprintf(os.Stderr, "btsink: observability API on http://%s\n", ln.Addr())
+		go http.Serve(ln, sink.Handler())
+	}
+
+	// SIGTERM/SIGINT: graceful drain — seal every checkpoint, send live
+	// sessions a retryable draining Reject, exit 0 so the supervisor knows
+	// this was a clean handoff, not a crash.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigs
+		fmt.Fprintf(os.Stderr, "btsink: %v: draining\n", sig)
+		if err := sink.Drain(); err != nil {
+			fmt.Fprintln(os.Stderr, "btsink: drain:", err)
+			sink.Close()
+			os.Exit(1)
+		}
+		sink.Close()
+		os.Exit(0)
+	}()
+
+	if !multi {
+		legacyMain(sink, legacy, *checkpoint, *timeout)
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "btsink: listening on %s (%d campaigns%s)\n",
+		sink.Addr(), len(campaigns), map[bool]string{true: ", serve mode", false: ""}[*serve])
+
+	// Every configured keyspace gets a completion watcher that exports its
+	// partial (and, for full-campaign keyspaces, its canonical report).
+	var wg sync.WaitGroup
+	failures := make(chan error, len(campaigns))
+	for _, cf := range campaigns {
+		wg.Add(1)
+		go func(cf campaignFlag) {
+			defer wg.Done()
+			if err := watchKeyspace(sink, cf, *partialDir, *reportDir, *timeout); err != nil {
+				failures <- fmt.Errorf("campaign %q: %w", cf.key, err)
+			}
+		}(cf)
+	}
+	wg.Wait()
+	close(failures)
+	failed := false
+	for err := range failures {
+		failed = true
+		fmt.Fprintln(os.Stderr, "btsink:", err)
+	}
+	if *serve {
+		select {} // stay up for registered campaigns until a signal drains us
+	}
+	if err := sink.Close(); err != nil {
+		fatal(err)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// watchKeyspace waits for one keyspace's completion and writes its exports.
+func watchKeyspace(sink *collector.Sink, cf campaignFlag, partialDir, reportDir string,
+	timeout time.Duration) error {
+	p, err := sink.WaitPartial(cf.key, timeout)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "btsink: campaign %q complete (%d testbeds)\n",
+		cf.key, len(p.Shard.Testbeds))
+	if partialDir != "" {
+		blob, err := json.Marshal(p)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(partialDir, cf.key+".partial.json")
+		if err := collector.WriteFileDurable(path, blob); err != nil {
+			return err
+		}
+	}
+	if reportDir != "" && len(cf.testbeds) == 0 {
+		rep, err := sink.WaitKeyspace(cf.key, timeout)
+		if err != nil {
+			return err
+		}
+		ccfg := btpan.CampaignConfig{Seed: cf.seed, Duration: sim.Time(cf.days) * sim.Day,
+			Scenario: btpan.Scenario(cf.scenario), Streaming: true}
+		res, err := btpan.ResultFromAggregates(ccfg, rep.Agg, rep.Counters, rep.Durations)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(reportDir, cf.key+".report"))
+		if err != nil {
+			return err
+		}
+		btpan.WriteReport(f, res)
+		return f.Close()
+	}
+	return nil
+}
+
+// legacyMain is the original single-campaign flow: wait for the default
+// keyspace, print the canonical report on stdout, exit.
+func legacyMain(sink *collector.Sink, cfg btpan.CampaignConfig, checkpoint string,
+	timeout time.Duration) {
 	resumed := ""
-	if *checkpoint != "" {
-		if _, statErr := os.Stat(*checkpoint); statErr == nil {
+	if checkpoint != "" {
+		if _, statErr := os.Stat(checkpoint); statErr == nil {
 			resumed = ", resumed from checkpoint"
 		}
 	}
 	fmt.Fprintf(os.Stderr, "btsink: listening on %s (seed %d, %v, scenario %q%s)\n",
-		sink.Addr(), *seed, cfg.Duration, cfg.Scenario, resumed)
+		sink.Addr(), cfg.Seed, cfg.Duration, cfg.Scenario, resumed)
 
 	start := time.Now()
-	rep, err := sink.Wait(*timeout)
+	rep, err := sink.Wait(timeout)
 	if err != nil {
 		sink.Close()
 		fatal(err)

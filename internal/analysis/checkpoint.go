@@ -246,6 +246,10 @@ type StreamerCheckpoint struct {
 	Agg      *AggregatesSnapshot `json:"agg"`
 	Shards   []ShardCheckpoint   `json:"shards"`
 	Relators []RelatorCheckpoint `json:"relators"`
+	// Trace is the fold-ordered unmasked-failure trace (only present when
+	// the spec enabled TraceDepend — i.e. the streamer covers a shard of a
+	// larger campaign and its partial will go through MergeAggregates).
+	Trace []DependEvent `json:"trace,omitempty"`
 }
 
 // AppliedSeq reports the checkpoint's contiguous applied sequence number for
@@ -259,6 +263,16 @@ func (cp *StreamerCheckpoint) AppliedSeq(testbed, node string) uint64 {
 		}
 	}
 	return 0
+}
+
+// AggSnapshot captures just the folded aggregates of a (possibly live)
+// streamer, consistently with any concurrent folding — the cheap snapshot
+// behind mid-campaign observability (live Table 2/3/4 over HTTP), as
+// opposed to the full Checkpoint a sink persists for crash recovery.
+func (s *Streamer) AggSnapshot() *AggregatesSnapshot {
+	s.foldMu.Lock()
+	defer s.foldMu.Unlock()
+	return s.agg.Snapshot()
 }
 
 // Checkpoint captures the streamer's full live state. It can run
@@ -276,6 +290,9 @@ func (s *Streamer) Checkpoint() (*StreamerCheckpoint, error) {
 		return nil, fmt.Errorf("analysis: checkpoint of a finalized streamer")
 	}
 	cp := &StreamerCheckpoint{Folded: sim.Time(s.folded.Load()), Agg: s.agg.Snapshot()}
+	if s.trace != nil {
+		cp.Trace = append([]DependEvent(nil), s.trace...)
+	}
 	for _, sh := range s.all {
 		sh.mu.Lock()
 		sc := ShardCheckpoint{
@@ -373,6 +390,9 @@ func RestoreStreamer(spec StreamSpec, cp *StreamerCheckpoint) (*Streamer, error)
 	if len(restored) != len(s.relators) {
 		return nil, fmt.Errorf("analysis: checkpoint restores %d relators, spec declares %d",
 			len(restored), len(s.relators))
+	}
+	if cp.Trace != nil {
+		s.trace = append([]DependEvent(nil), cp.Trace...)
 	}
 	s.folded.Store(int64(cp.Folded))
 	return s, nil

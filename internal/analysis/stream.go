@@ -51,6 +51,14 @@ type StreamSpec struct {
 	// Window / Radius parameterize the evidence extraction (defaults:
 	// coalesce.PaperWindow / coalesce.RelateRadius).
 	Window, Radius sim.Time
+	// TraceDepend records every unmasked failure folded into the Table 4
+	// accumulator as a DependEvent (in fold order). A streamer that covers
+	// only a subset of a campaign's testbeds — one shard of a horizontally
+	// sharded sink — MUST enable this, because the TTF gaps of DependAccum
+	// are computed over the campaign-global interleaved failure sequence:
+	// MergeAggregates needs the shards' traces to re-run the accumulator
+	// over the merged order. Full-campaign streamers can leave it off.
+	TraceDepend bool
 }
 
 // shardKey identifies one stream: node names repeat across testbeds, so the
@@ -207,6 +215,7 @@ type Streamer struct {
 	relators  map[shardKey]*coalesce.StreamRelator
 	panuKeys  [][]shardKey // per testbed rank, PANU relator keys in order
 	agg       *Aggregates
+	trace     []DependEvent // fold-ordered unmasked failures (TraceDepend)
 	scratch   []foldEvent
 	finalized bool
 }
@@ -505,6 +514,11 @@ func (s *Streamer) apply(ev *foldEvent) {
 	if ev.user {
 		r := &ev.r
 		s.agg.Reports++
+		if s.spec.TraceDepend && !r.Masked {
+			s.trace = append(s.trace, DependEvent{
+				At: ev.at, Testbed: s.spec.Testbeds[ev.rank].Name, Node: ev.node,
+				Recovered: r.Recovered, TTR: r.TTR, Recovery: r.Recovery})
+		}
 		s.agg.Depend.Add(r)
 		s.agg.T3.Add(r)
 		AddFig4(s.agg.PerHost, r)
@@ -533,6 +547,20 @@ func (s *Streamer) apply(ev *foldEvent) {
 	if rel := s.relators[shardKey{s.spec.Testbeds[ev.rank].Name, ev.node}]; rel != nil {
 		rel.AddSys(ev.at, ev.node, ev.e.Source)
 	}
+}
+
+// DependTrace returns a copy of the fold-ordered unmasked-failure trace
+// accumulated so far (nil unless the spec enabled TraceDepend). After
+// Finalize the trace is complete; a sharded sink ships it inside its
+// Partial so the merge tier can reconstruct the campaign-global failure
+// order (see MergeAggregates).
+func (s *Streamer) DependTrace() []DependEvent {
+	s.foldMu.Lock()
+	defer s.foldMu.Unlock()
+	if s.trace == nil {
+		return nil
+	}
+	return append([]DependEvent(nil), s.trace...)
 }
 
 // Pending reports how many records are buffered awaiting watermark advance

@@ -48,6 +48,8 @@ type Agent struct {
 	lastProgress time.Time
 	sent         int // data frames handed to the fault injector
 	retransmits  int // frames sent again after an earlier send
+	rejects      int // retryable rejects absorbed (backed off, not fatal)
+	lastReject   *Reject
 
 	work      chan struct{}
 	closed    chan struct{}
@@ -66,6 +68,11 @@ type AgentConfig struct {
 	// apart, so seed/duration/scenario mismatches would otherwise merge
 	// silently).
 	Campaign CampaignID
+	// Keyspace addresses one campaign of a multi-tenant sink (empty: the
+	// sink's default keyspace, matching pre-keyspace deployments). It also
+	// namespaces the spill log's filename, so agents of different
+	// campaigns can share one SpillDir without colliding.
+	Keyspace string
 	// Testbed names the shard; Nodes its streams (must match the sink's
 	// spec for this testbed).
 	Testbed string
@@ -194,7 +201,14 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	}
 	var replay map[string]*walStream
 	if cfg.SpillDir != "" {
-		w, streams, err := openWAL(cfg.SpillDir, cfg.Testbed, cfg.Campaign, cfg.SpillBudget)
+		// The spill log is keyed by keyspace-qualified shard name: agents
+		// of different campaigns sharing a spill directory must not collide
+		// on (or refuse) each other's logs.
+		walName := cfg.Testbed
+		if cfg.Keyspace != "" {
+			walName = cfg.Keyspace + "@" + cfg.Testbed
+		}
+		w, streams, err := openWAL(cfg.SpillDir, walName, cfg.Campaign, cfg.SpillBudget)
 		if err != nil {
 			return nil, err
 		}
@@ -400,9 +414,15 @@ func (a *Agent) Finish(counters map[string]*workload.CountersSnapshot, duration 
 		for _, st := range a.streams {
 			unacked += int(st.last - st.acked)
 		}
+		rejects, lastReject := a.rejects, a.lastReject
 		a.mu.Unlock()
-		return fmt.Errorf("collector: sink did not confirm completion within %v "+
+		msg := fmt.Sprintf("collector: sink did not confirm completion within %v "+
 			"(%d batches still unacknowledged)", timeout, unacked)
+		if rejects > 0 {
+			msg += fmt.Sprintf("; sink rejected the session %d times, last: %s",
+				rejects, lastReject.Error())
+		}
+		return fmt.Errorf("%s", msg)
 	}
 }
 
@@ -506,7 +526,8 @@ func (a *Agent) run() {
 // reports whether the sink answered the handshake with Resume (backoff
 // reset).
 func (a *Agent) session(conn net.Conn) bool {
-	hello := Hello{Campaign: a.cfg.Campaign, Testbed: a.cfg.Testbed, Nodes: a.order}
+	hello := Hello{Campaign: a.cfg.Campaign, Keyspace: a.cfg.Keyspace,
+		Testbed: a.cfg.Testbed, Nodes: a.order}
 	if err := writeControl(conn, frameHello, hello); err != nil {
 		return false
 	}
@@ -516,9 +537,14 @@ func (a *Agent) session(conn net.Conn) bool {
 		return false
 	}
 	if fr.Kind == KindReject {
-		// A misconfigured deployment (campaign or shard mismatch) must fail
+		// Typed rejects split two worlds: a service condition (keyspace not
+		// registered yet, quota quarantine, draining sink) is absorbed —
+		// back off and retry, the condition is expected to clear — while a
+		// configuration error (campaign or shard mismatch) must fail
 		// loudly, not retry forever.
-		a.fatal(fmt.Errorf("collector: sink refused session: %s", fr.Reject.Reason))
+		if !a.absorbReject(fr.Reject) {
+			a.fatal(fmt.Errorf("collector: sink refused session: %s", fr.Reject.Error()))
+		}
 		return false
 	}
 	if fr.Kind != KindResume {
@@ -750,8 +776,38 @@ func (a *Agent) reader(conn net.Conn, done chan struct{}) {
 		case KindFin:
 			a.finOnce.Do(func() { close(a.fin) })
 			return
+		case KindReject:
+			// A mid-session reject (the sink started draining, or this
+			// keyspace tripped its quota): same split as at the handshake.
+			if !a.absorbReject(fr.Reject) {
+				a.fatal(fmt.Errorf("collector: sink rejected session: %s", fr.Reject.Error()))
+			}
+			return
 		default:
 			return // protocol violation; reconnect
 		}
 	}
+}
+
+// absorbReject records a retryable reject (the agent backs off and retries)
+// and reports whether it was retryable; fatal rejects are the caller's to
+// escalate.
+func (a *Agent) absorbReject(rej *Reject) bool {
+	if !rej.Retryable() {
+		return false
+	}
+	a.mu.Lock()
+	a.rejects++
+	a.lastReject = rej
+	a.mu.Unlock()
+	return true
+}
+
+// Rejects reports how many retryable rejects the agent has absorbed (each
+// followed by backoff and retry) and the most recent one (nil if none) —
+// the observable trail of quota shedding and drains.
+func (a *Agent) Rejects() (count int, last *Reject) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rejects, a.lastReject
 }

@@ -63,18 +63,64 @@ type CampaignID struct {
 
 // Hello opens an agent session: it names the campaign, the testbed shard
 // and the streams the agent will ship (all of which must match the sink's
-// declared campaign and spec exactly).
+// declared campaign and spec exactly). Keyspace addresses one campaign of a
+// multi-tenant sink; the empty string is the sink's default keyspace, which
+// keeps single-campaign deployments (and pre-keyspace agents) working
+// unchanged.
 type Hello struct {
 	Campaign CampaignID `json:"campaign"`
+	Keyspace string     `json:"keyspace,omitempty"`
 	Testbed  string     `json:"testbed"`
 	Nodes    []string   `json:"nodes"`
 }
 
-// Reject answers a Hello the sink cannot serve (campaign mismatch, unknown
-// shard, node set divergence). The agent treats it as fatal: a
-// misconfigured deployment must fail loudly, not retry forever.
+// Typed Reject codes. Configuration errors are fatal — a misconfigured
+// deployment must fail loudly, not retry forever — while service conditions
+// (an unregistered keyspace, a quota quarantine, a draining sink) are
+// retryable: the agent backs off and tries again rather than dying.
+const (
+	// RejectCampaignMismatch: the keyspace exists but is a different
+	// campaign (seed/duration/scenario). Fatal.
+	RejectCampaignMismatch = "campaign-mismatch"
+	// RejectUnknownShard: the testbed or its node set is not in the
+	// keyspace's stream spec. Fatal.
+	RejectUnknownShard = "unknown-shard"
+	// RejectUnknownCampaign: no such keyspace (yet) — retryable, the
+	// campaign may simply not have been registered with the sink so far.
+	RejectUnknownCampaign = "unknown-campaign"
+	// RejectOverQuota: the keyspace exhausted its ingest quota and is
+	// quarantined — retryable once an operator raises the quota.
+	RejectOverQuota = "over-quota"
+	// RejectDraining: the sink is shutting down gracefully and refuses new
+	// work — retryable against its replacement.
+	RejectDraining = "draining"
+)
+
+// Reject answers a Hello (or interrupts a session) the sink cannot serve.
+// Code is one of the typed Reject* constants; Reason is the human-readable
+// detail. Pre-keyspace sinks sent only Reason; an empty Code is therefore
+// treated as fatal, matching their semantics.
 type Reject struct {
+	Code   string `json:"code,omitempty"`
 	Reason string `json:"reason"`
+}
+
+// Retryable reports whether the agent should back off and retry (service
+// condition) rather than fail the deployment (configuration error).
+func (r *Reject) Retryable() bool {
+	switch r.Code {
+	case RejectUnknownCampaign, RejectOverQuota, RejectDraining:
+		return true
+	}
+	return false
+}
+
+// Error renders the reject for error chains.
+func (r *Reject) Error() string {
+	if r.Code == "" {
+		return r.Reason
+	}
+	return fmt.Sprintf("%s: %s", r.Code, r.Reason)
 }
 
 // StreamCursor is one stream's position: the highest contiguously applied
@@ -120,15 +166,17 @@ type Done struct {
 // durable and the session is over.
 type Fin struct{}
 
-// Frame is one decoded wire frame.
+// Frame is one decoded wire frame. WireBytes is the frame's full on-wire
+// size (length prefix included) — what ingest byte quotas account.
 type Frame struct {
-	Kind   FrameKind
-	Batch  *Batch
-	Hello  *Hello
-	Resume *Resume
-	Ack    *Ack
-	Done   *Done
-	Reject *Reject
+	Kind      FrameKind
+	WireBytes int
+	Batch     *Batch
+	Hello     *Hello
+	Resume    *Resume
+	Ack       *Ack
+	Done      *Done
+	Reject    *Reject
 }
 
 // writeControl frames and writes one control payload (kind byte + JSON).
@@ -168,7 +216,17 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 	if _, err := io.ReadFull(r, blob); err != nil {
 		return nil, fmt.Errorf("collector: read frame body: %w", err)
 	}
-	switch hdr[4] {
+	fr, err := decodeFrame(hdr[4], blob)
+	if err != nil {
+		return nil, err
+	}
+	fr.WireBytes = 4 + int(n)
+	return fr, nil
+}
+
+// decodeFrame decodes one frame body by kind byte.
+func decodeFrame(kind byte, blob []byte) (*Frame, error) {
+	switch kind {
 	case byte(CodecBinary):
 		b, err := decodeBinaryBatch(blob)
 		if err != nil {
@@ -214,7 +272,7 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 		}
 		return &Frame{Kind: KindReject, Reject: &rej}, nil
 	default:
-		return nil, fmt.Errorf("collector: unknown frame kind %d", hdr[4])
+		return nil, fmt.Errorf("collector: unknown frame kind %d", kind)
 	}
 }
 

@@ -1,0 +1,150 @@
+#!/bin/sh
+# chaos_multitenant.sh is the real-OS-process proof of the multi-tenant
+# collection plane: three concurrent campaigns (keyspaces alpha, bravo, hog)
+# collected through TWO btsink shards — shard 0 hosts every campaign's
+# random testbed, shard 1 every realistic one — fed by six btagent
+# processes under fault injection. Mid-storm, shard 0 is kill -9'd and
+# restarted from its per-keyspace checkpoints, and the hog campaign is
+# driven over its ingest quota on shard 0: it must be shed with a typed
+# over-quota reject (durably — the restarted shard keeps shedding) while
+# alpha's and bravo's btmerge'd reports stay byte-identical to their
+# `btcampaign -stream` references. The Go-level twin (same topology,
+# in-process, -race) is TestMultiTenantShardedChaos.
+# CI runs this in the chaos job; it is bounded to roughly a minute.
+# Usage: scripts/chaos_multitenant.sh [days]
+set -eu
+
+cd "$(dirname "$0")/.."
+days="${1:-2}"
+tmp="$(mktemp -d)"
+port0=$((25000 + $$ % 10000))
+port1=$((port0 + 1))
+addr0="127.0.0.1:$port0"
+addr1="127.0.0.1:$port1"
+mkdir -p "$tmp/ckpt0" "$tmp/ckpt1" "$tmp/part0" "$tmp/part1"
+cleanup() {
+    # shellcheck disable=SC2046
+    kill -9 $(jobs -p) 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/btsink" ./cmd/btsink
+go build -o "$tmp/btagent" ./cmd/btagent
+go build -o "$tmp/btmerge" ./cmd/btmerge
+go build -o "$tmp/btcampaign" ./cmd/btcampaign
+
+# References: each campaign's single-process streaming report (skip the
+# banner; the report starts at the "collected" line). btmerge prints the
+# report alone, so the extracted reference diffs directly against it.
+for c in alpha:7 bravo:11; do
+    key="${c%%:*}"; seed="${c##*:}"
+    "$tmp/btcampaign" -seed "$seed" -days "$days" -stream >"$tmp/ref_${key}_raw.txt"
+    sed -n '/^collected /,$p' "$tmp/ref_${key}_raw.txt" >"$tmp/ref_$key.txt"
+    [ -s "$tmp/ref_$key.txt" ] || { echo "chaos_multitenant: empty $key reference" >&2; exit 1; }
+done
+
+# start_shard0 ROUND: every campaign's random half, with per-keyspace
+# checkpoints and the hog's tight batch quota. Flags are identical across
+# rounds — a kill -9 restart needs nothing but the same command line.
+start_shard0() {
+    "$tmp/btsink" -addr "$addr0" \
+        -campaign "key=alpha,seed=7,days=$days,testbeds=random" \
+        -campaign "key=bravo,seed=11,days=$days,testbeds=random" \
+        -campaign "key=hog,seed=13,days=$days,testbeds=random,quota-batches=12" \
+        -checkpoint-dir "$tmp/ckpt0" -checkpoint-every 8 \
+        -partial-dir "$tmp/part0" -timeout 10m \
+        2>"$tmp/shard0_$1.log" &
+    s0=$!
+}
+start_shard0 1
+
+"$tmp/btsink" -addr "$addr1" \
+    -campaign "key=alpha,seed=7,days=$days,testbeds=realistic" \
+    -campaign "key=bravo,seed=11,days=$days,testbeds=realistic" \
+    -campaign "key=hog,seed=13,days=$days,testbeds=realistic" \
+    -checkpoint-dir "$tmp/ckpt1" -checkpoint-every 8 \
+    -partial-dir "$tmp/part1" -timeout 10m \
+    2>"$tmp/shard1.log" &
+s1=$!
+
+# Six agents: campaign x testbed, random halves at shard 0, realistic at
+# shard 1, all on a lossy, duplicating, reordering network. The hog random
+# agent gets a short completion timeout: it is EXPECTED to be shed.
+fs=50
+pids=""
+for c in alpha:7 bravo:11; do
+    key="${c%%:*}"; seed="${c##*:}"
+    "$tmp/btagent" -sink "$addr0" -keyspace "$key" -testbed random \
+        -seed "$seed" -days "$days" -drop 0.05 -dup 0.05 -reorder 0.1 \
+        -fault-seed $fs 2>"$tmp/agent_${key}_r.log" &
+    pids="$pids $!"
+    fs=$((fs + 1))
+    "$tmp/btagent" -sink "$addr1" -keyspace "$key" -testbed realistic \
+        -seed "$seed" -days "$days" -drop 0.05 -dup 0.05 -reorder 0.1 \
+        -fault-seed $fs 2>"$tmp/agent_${key}_e.log" &
+    pids="$pids $!"
+    fs=$((fs + 1))
+done
+"$tmp/btagent" -sink "$addr0" -keyspace hog -testbed random \
+    -seed 13 -days "$days" -timeout 15s 2>"$tmp/agent_hog_r.log" &
+hog_r=$!
+"$tmp/btagent" -sink "$addr1" -keyspace hog -testbed realistic \
+    -seed 13 -days "$days" 2>"$tmp/agent_hog_e.log" &
+pids="$pids $!"
+
+# Kill shard 0 mid-storm and restart it from its checkpoints: resumable
+# collection for alpha/bravo, durable quarantine for the hog.
+sleep 1.2
+kill -9 "$s0" 2>/dev/null || true
+wait "$s0" 2>/dev/null || true
+start_shard0 2
+
+# Every clean agent must finish; the hog's random agent must fail with the
+# typed over-quota reject in its diagnostics.
+for pid in $pids; do
+    wait "$pid" || { echo "chaos_multitenant: a clean agent failed" >&2; exit 1; }
+done
+if wait "$hog_r" 2>/dev/null; then
+    echo "chaos_multitenant: hog random agent finished despite its quota" >&2
+    exit 1
+fi
+grep -q "over-quota" "$tmp/agent_hog_r.log" || {
+    echo "chaos_multitenant: hog agent log lacks the typed over-quota reject" >&2
+    cat "$tmp/agent_hog_r.log" >&2
+    exit 1
+}
+
+# The clean campaigns' partials appear on both shards as they complete.
+deadline=$(( $(date +%s) + 120 ))
+for f in part0/alpha part0/bravo part1/alpha part1/bravo part1/hog; do
+    while [ ! -s "$tmp/${f%%/*}/${f##*/}.partial.json" ]; do
+        if [ "$(date +%s)" -gt "$deadline" ]; then
+            echo "chaos_multitenant: timed out waiting for $f.partial.json" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+done
+
+# Graceful drain: SIGTERM both shards; each must exit 0 (shard 0 still
+# hosts the never-completing hog keyspace, so drain is its only way out).
+kill -TERM "$s0" 2>/dev/null || true
+kill -TERM "$s1" 2>/dev/null || true
+wait "$s0" || { echo "chaos_multitenant: shard 0 drain exited non-zero" >&2; exit 1; }
+wait "$s1" || { echo "chaos_multitenant: shard 1 drain exited non-zero" >&2; exit 1; }
+
+# Merge each clean campaign's shard partials and demand byte-identity with
+# its single-process reference.
+for c in alpha:7 bravo:11; do
+    key="${c%%:*}"; seed="${c##*:}"
+    "$tmp/btmerge" -seed "$seed" -days "$days" \
+        "$tmp/part0/$key.partial.json" "$tmp/part1/$key.partial.json" \
+        >"$tmp/merged_$key.txt"
+    if ! diff -u "$tmp/ref_$key.txt" "$tmp/merged_$key.txt"; then
+        echo "chaos_multitenant: $key merged report differs from btcampaign -stream" >&2
+        exit 1
+    fi
+done
+
+echo "chaos_multitenant: OK (2 campaigns byte-identical through shard kill + restart, hog shed over quota)"
