@@ -290,6 +290,63 @@ func BenchmarkScatternetDay(b *testing.B) {
 	b.ReportMetric(float64(keep.Bridges.CorrelatedOutages()), "corr-outages")
 }
 
+// benchScatternetScale times one virtual day of a piconets-sized ring on
+// the sharded engine: streaming plane, hierarchical roll-up, relay probes
+// sampled to ~4 pairs per source piconet (min(1, 4/(piconets-1))), shard
+// count from GOMAXPROCS. live-MB is the heap still held after the run — it
+// must stay flat in the piconet count, because the roll-up folds and drops
+// every finished piconet instead of retaining it. Under -short the piconet
+// count downscales by 4 so the race job finishes quickly; the recorded
+// BENCH_campaign.json numbers come from full-size runs.
+func benchScatternetScale(b *testing.B, piconets int) {
+	b.Helper()
+	if testing.Short() {
+		piconets /= 4
+	}
+	fraction := 4.0 / float64(piconets-1)
+	if fraction > 1 {
+		fraction = 1
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	var keep *ScatternetResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunScatternet(ScatternetConfig{
+			CampaignConfig: CampaignConfig{
+				Seed: uint64(i + 1), Duration: 1 * Day,
+				Scenario: ScenarioSIRAs, Streaming: true,
+			},
+			Piconets: piconets, Topology: TopologyRing,
+			ProbeSample: fraction, Rollup: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		keep = res
+	}
+	b.StopTimer()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	b.ReportMetric((float64(after.HeapAlloc)-float64(before.HeapAlloc))/1e6, "live-MB")
+	_, _, items := keep.Rollup.Agg.DataItems()
+	b.ReportMetric(float64(items), "items")
+	b.ReportMetric(float64(keep.Rollup.RelayDepth.Probes()), "probes")
+}
+
+// BenchmarkScatternetDay64 is the district scale: 64 piconets, one virtual
+// day, hierarchical roll-up.
+func BenchmarkScatternetDay64(b *testing.B) { benchScatternetScale(b, 64) }
+
+// BenchmarkScatternetDay256 is the borough scale: 256 piconets.
+func BenchmarkScatternetDay256(b *testing.B) { benchScatternetScale(b, 256) }
+
+// BenchmarkScatternetDay1024 is the city scale the sharded engine was built
+// for: 10³ piconets (~10⁴ simulated devices), one virtual day, probes
+// sampled to ~4 pairs per source instead of the 1,047,552 exhaustive pairs.
+func BenchmarkScatternetDay1024(b *testing.B) { benchScatternetScale(b, 1024) }
+
 // barString renders bars compactly for bench logs.
 func barString(bars []analysis.Bar) string {
 	out := ""

@@ -28,6 +28,17 @@
 // exactly like single-piconet campaigns (the repository shipping path is
 // single-piconet only).
 //
+// City scale (-piconets 1000) wants three more knobs: -shards S partitions
+// the piconet space across S worker goroutines (0 = GOMAXPROCS; any value
+// gives identical results), -probe-sample F keeps each ordered piconet pair
+// on the relay probe plane with seeded probability F instead of probing all
+// P·(P-1) pairs (probe counts scale back by 1/F in the report; delays are
+// unbiased; F=1 is exhaustive and byte-identical), and -rollup (needs
+// -stream) folds every finished piconet into one hierarchical metro-wide
+// report — deployment Table 2/3/4, per-piconet overview, all-bridge summary
+// — instead of retaining P per-piconet results, keeping live memory flat in
+// the piconet count.
+//
 // Usage:
 //
 //	btcampaign [flags]
@@ -67,6 +78,15 @@
 //	-redundancy K    bridges per span; K >= 2 forms redundancy groups whose
 //	                 correlated outage needs all K down at once (default 1)
 //	-hold S          bridge residency seconds per piconet visit (default 10)
+//	-shards S        scatternet piconet-plane worker shards; 0 = GOMAXPROCS
+//	                 capped at the piconet count, 1 = fully sequential —
+//	                 results identical for any value (default 0)
+//	-probe-sample F  relay-probe pair sampling fraction in (0, 1]; keeps
+//	                 each ordered piconet pair with seeded probability F.
+//	                 1 probes every pair exhaustively (default 1)
+//	-rollup          with -scatternet -stream: fold piconets into one
+//	                 hierarchical metro-wide report (live memory flat in
+//	                 -piconets) instead of per-piconet tables
 package main
 
 import (
@@ -104,6 +124,9 @@ func main() {
 	topology := flag.String("topology", "", "scatternet membership map: ring, star, mesh or random (empty = legacy -bridges ring)")
 	redundancy := flag.Int("redundancy", 1, "bridges per span; >= 2 forms redundancy groups (with -scatternet)")
 	hold := flag.Int("hold", 10, "bridge residency seconds per piconet visit (with -scatternet)")
+	shards := flag.Int("shards", 0, "scatternet piconet-plane worker shards (0 = GOMAXPROCS; results identical for any value)")
+	probeSample := flag.Float64("probe-sample", 1, "relay-probe pair sampling fraction in (0, 1]; 1 = exhaustive")
+	rollup := flag.Bool("rollup", false, "scatternet streaming mode: one hierarchical metro-wide report, memory flat in -piconets")
 	flag.Parse()
 
 	if *days < 1 || *days > 540 {
@@ -121,10 +144,17 @@ func main() {
 			fatal(fmt.Errorf("-json and -checkpoint-dir support classic sweeps only, not -scatternet"))
 		}
 		topo := scatTopology{piconets: *piconets, bridges: *bridges,
-			name: *topology, redundancy: *redundancy, hold: holdTime}
+			name: *topology, redundancy: *redundancy, hold: holdTime,
+			shards: *shards, probeSample: *probeSample, rollup: *rollup}
 		if *seeds > 1 {
+			if *rollup {
+				fatal(fmt.Errorf("-rollup is a single-campaign report; sweeps aggregate across seeds already"))
+			}
 			runScatternetSweep(*seed, *seeds, duration, btpan.Scenario(*scenario), *workers, topo)
 			return
+		}
+		if *rollup && !*stream {
+			fatal(fmt.Errorf("-rollup requires -stream (the roll-up folds streaming aggregates)"))
 		}
 		runScatternet(*seed, duration, btpan.Scenario(*scenario), topo, *stream)
 		return
@@ -175,11 +205,14 @@ func mode(stream bool) string {
 	return "retained records"
 }
 
-// scatTopology bundles the CLI's scatternet topology knobs.
+// scatTopology bundles the CLI's scatternet topology and scale knobs.
 type scatTopology struct {
 	piconets, bridges, redundancy int
 	name                          string
 	hold                          sim.Time
+	shards                        int
+	probeSample                   float64
+	rollup                        bool
 }
 
 // describe renders the topology knobs for campaign banners.
@@ -204,12 +237,24 @@ func runScatternet(seed uint64, duration sim.Time, scenario btpan.Scenario,
 	res, err := btpan.RunScatternet(btpan.ScatternetConfig{
 		CampaignConfig: btpan.CampaignConfig{
 			Seed: seed, Duration: duration, Scenario: scenario, Streaming: stream,
+			Parallelism: topo.shards,
 		},
 		Piconets: topo.piconets, Bridges: topo.bridges,
 		Topology: topo.name, Redundancy: topo.redundancy, HoldTime: topo.hold,
+		ProbeSample: topo.probeSample, Rollup: topo.rollup,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if res.Rollup != nil {
+		// The hierarchical metro report replaces the per-piconet spread: the
+		// whole deployment in one pass, memory flat in the piconet count.
+		fmt.Printf("\n%s", res.Rollup.Render())
+		if res.Topology.Bridges() > 0 {
+			fmt.Printf("\nRedundancy groups (outage charged only when a whole span is down)\n%s",
+				res.Redundancy.Render())
+		}
+		return
 	}
 	fmt.Printf("\nPiconet overview\n%s", res.Overview().Render())
 	for p, pic := range res.Piconets {

@@ -48,6 +48,62 @@ func (a *RelayDepthAccum) AddProbe(depth int, delaySeconds float64) {
 // AddUnreachable records one probe with no route.
 func (a *RelayDepthAccum) AddUnreachable() { a.Unreachable++ }
 
+// Merge folds another accumulator into a (o may be reused afterwards but is
+// conventionally discarded). Each depth's summary merges via the parallel
+// Welford combination, so the hierarchical roll-up merges per-source probe
+// partials in a fixed (source-piconet) order to keep reports byte-stable.
+func (a *RelayDepthAccum) Merge(o *RelayDepthAccum) {
+	if o == nil {
+		return
+	}
+	for _, d := range o.Depths() {
+		s := a.ByDepth[d]
+		if s == nil {
+			s = &stats.Summary{}
+			a.ByDepth[d] = s
+		}
+		s.Merge(*o.ByDepth[d])
+	}
+	a.Unreachable += o.Unreachable
+}
+
+// EstimatedProbes is the Horvitz–Thompson estimate of the probe count an
+// exhaustive (fraction = 1) run would have recorded at the given depth: each
+// sampled ordered pair stands in for 1/fraction pairs, so the estimate is
+// observed/fraction. Delay moments (mean/min/max per depth) need no
+// correction — pair inclusion is decided by a seeded coin independent of the
+// pair's delay, so the sampled delays are an unbiased draw from the
+// exhaustive delay population. fraction outside (0, 1] is treated as 1.
+func (a *RelayDepthAccum) EstimatedProbes(depth int, fraction float64) float64 {
+	s := a.ByDepth[depth]
+	if s == nil {
+		return 0
+	}
+	if fraction <= 0 || fraction >= 1 {
+		return float64(s.N())
+	}
+	return float64(s.N()) / fraction
+}
+
+// RenderSampled formats the delay-vs-relay-depth table with the estimated
+// exhaustive probe count per depth (see EstimatedProbes). At fraction 1 the
+// estimate column equals the observed count and the table matches Render's
+// content.
+func (a *RelayDepthAccum) RenderSampled(fraction float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %8s %10s %10s %10s %10s\n",
+		"depth", "probes", "est. full", "mean (s)", "min (s)", "max (s)")
+	for _, d := range a.Depths() {
+		s := a.ByDepth[d]
+		fmt.Fprintf(&b, "%-6d %8d %10.1f %10.2f %10.2f %10.2f\n",
+			d, s.N(), a.EstimatedProbes(d, fraction), s.Mean(), s.Min(), s.Max())
+	}
+	if a.Unreachable > 0 {
+		fmt.Fprintf(&b, "unreachable probes: %d\n", a.Unreachable)
+	}
+	return b.String()
+}
+
 // Probes reports the total routed probe count.
 func (a *RelayDepthAccum) Probes() int {
 	n := 0

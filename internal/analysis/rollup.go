@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The hierarchical scatternet roll-up: a city-scale campaign (10³ piconets)
+// cannot afford one retained result per piconet, so the sharded engine folds
+// every finished piconet into a per-shard ScatternetFold and merges the
+// shard partials into one metro-wide report. The fold reuses the PR 7
+// depend-trace merge idiom: everything order-insensitive merges
+// algebraically (the Table 2 evidence cells, Table 3 counts, per-host and
+// per-app maps, histogram bins and scalar counters are all integer sums, so
+// the merge is exact and associative), while the order-sensitive Table 4
+// accumulator is re-derived at Finalize from the piconet-tagged failure
+// traces, k-way merged into deployment order by the total key
+// (time, piconet, within-piconet fold position). Because the final sort key
+// is total, the merged report is byte-identical no matter how many shards
+// folded the piconets or in which order they finished — the shard-count
+// invariance law pinned by the merge-law tests.
+
+// metroEvent is one unmasked failure in the deployment-wide trace, tagged
+// with its piconet and its position in that piconet's fold-ordered trace (the
+// pair that makes the deployment sort key total).
+type metroEvent struct {
+	ev      DependEvent
+	piconet int
+	seq     int
+}
+
+// ScatternetFold accumulates finished piconet campaigns into one metro
+// partial. Shard workers each own a fold; Merge combines shard partials and
+// Finalize produces the deployment-wide aggregates. Not safe for concurrent
+// use — each shard folds on its own goroutine and the partials merge after
+// the barrier.
+type ScatternetFold struct {
+	scenario string
+	agg      *Aggregates
+	masked   int
+	trace    []metroEvent
+	rows     []PiconetRow
+}
+
+// NewScatternetFold allocates an empty fold for the given recovery-scenario
+// label (the Dependability column name).
+func NewScatternetFold(scenario string) *ScatternetFold {
+	return &ScatternetFold{scenario: scenario}
+}
+
+// AddPiconet folds one finished piconet campaign: its overview row is
+// derived before the aggregates are absorbed (the fold takes ownership of
+// agg — the caller must not use it afterwards), and the piconet-tagged
+// depend trace joins the deployment sequence. trace must be the piconet's
+// fold-ordered unmasked-failure trace (StreamSpec.TraceDepend).
+func (f *ScatternetFold) AddPiconet(piconet int, agg *Aggregates, trace []DependEvent) error {
+	if agg == nil {
+		return fmt.Errorf("analysis: scatternet fold of piconet %d without aggregates", piconet)
+	}
+	if len(trace) != agg.Depend.Failures {
+		return fmt.Errorf("analysis: piconet %d trace has %d events for %d accumulated failures (TraceDepend not enabled?)",
+			piconet, len(trace), agg.Depend.Failures)
+	}
+	u, s, _ := agg.DataItems()
+	f.rows = append(f.rows, PiconetRow{
+		Piconet:       piconet,
+		UserReports:   u,
+		SystemEntries: s,
+		Depend:        agg.Dependability(f.scenario),
+	})
+	for i, ev := range trace {
+		f.trace = append(f.trace, metroEvent{ev: ev, piconet: piconet, seq: i})
+	}
+	f.masked += agg.Depend.Masked
+	if f.agg == nil {
+		f.agg = agg
+		return nil
+	}
+	if agg.Window != f.agg.Window || agg.Radius != f.agg.Radius {
+		return fmt.Errorf("analysis: piconet %d aggregates disagree on window/radius", piconet)
+	}
+	addAggregates(f.agg, agg)
+	return nil
+}
+
+// Merge absorbs another shard's partial into f (o must not be used
+// afterwards). Merging is exact: every combined field is an integer sum or a
+// concatenation that Finalize re-sorts by a total key.
+func (f *ScatternetFold) Merge(o *ScatternetFold) error {
+	if o == nil || o.agg == nil {
+		return nil
+	}
+	f.rows = append(f.rows, o.rows...)
+	f.trace = append(f.trace, o.trace...)
+	f.masked += o.masked
+	if f.agg == nil {
+		f.agg = o.agg
+		return nil
+	}
+	if o.agg.Window != f.agg.Window || o.agg.Radius != f.agg.Radius {
+		return fmt.Errorf("analysis: scatternet fold partials disagree on window/radius")
+	}
+	addAggregates(f.agg, o.agg)
+	return nil
+}
+
+// Piconets reports how many piconets have been folded so far.
+func (f *ScatternetFold) Piconets() int { return len(f.rows) }
+
+// Finalize sorts the deployment trace into campaign order, re-derives the
+// deployment-wide Table 4 accumulator from it (exactly the MergeAggregates
+// idiom), and returns the metro aggregates plus the per-piconet overview in
+// piconet order. The fold must not be reused afterwards.
+func (f *ScatternetFold) Finalize() (*Aggregates, *PiconetOverview, error) {
+	if f.agg == nil {
+		return nil, nil, fmt.Errorf("analysis: finalize of an empty scatternet fold")
+	}
+	sort.Slice(f.trace, func(i, j int) bool {
+		a, b := &f.trace[i], &f.trace[j]
+		if a.ev.At != b.ev.At {
+			return a.ev.At < b.ev.At
+		}
+		if a.piconet != b.piconet {
+			return a.piconet < b.piconet
+		}
+		return a.seq < b.seq
+	})
+	f.agg.Depend = DependAccum{Masked: f.masked}
+	for i := range f.trace {
+		r := f.trace[i].ev.report()
+		f.agg.Depend.Add(&r)
+	}
+	sort.Slice(f.rows, func(i, j int) bool { return f.rows[i].Piconet < f.rows[j].Piconet })
+	return f.agg, &PiconetOverview{Rows: f.rows}, nil
+}
+
+// ScatternetRollup is the one-report view of a city-scale scatternet
+// campaign: deployment-wide paper tables merged across every piconet, the
+// per-piconet overview, the all-bridge coupling summary and the (possibly
+// sampled) delay-vs-depth table.
+type ScatternetRollup struct {
+	// Piconets is the campaign's piconet count.
+	Piconets int
+	// Scenario labels the recovery regime.
+	Scenario string
+	// Agg holds the deployment-wide merged aggregates: Table 2/3 merged
+	// exactly across piconets, Depend re-derived over the interleaved
+	// deployment failure sequence.
+	Agg *Aggregates
+	// Overview lines up every piconet's dataset sizes and dependability.
+	Overview *PiconetOverview
+	// Bridges is the all-bridge summary row (every bridge row merged; nil
+	// when the campaign had no bridges); BridgeCount is the row count it
+	// summarizes.
+	Bridges     *BridgeAccum
+	BridgeCount int
+	// RelayDepth is the delay-vs-depth table, merged from the per-source
+	// probe partials in piconet order.
+	RelayDepth *RelayDepthAccum
+	// ProbePairFraction is the relay-probe pair-sampling fraction the
+	// campaign ran (1 = exhaustive); RelayDepth estimates scale by its
+	// inverse (see RelayDepthAccum.EstimatedProbes).
+	ProbePairFraction float64
+}
+
+// Render formats the metro report: deployment dependability, merged paper
+// tables, the overview spread, and the bridge/relay planes.
+func (r *ScatternetRollup) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scatternet roll-up: %d piconets, %d bridges (scenario %s)\n",
+		r.Piconets, r.BridgeCount, r.Scenario)
+	d := r.Agg.Dependability(r.Scenario)
+	u, s, tot := r.Agg.DataItems()
+	fmt.Fprintf(&b, "deployment: %d user reports + %d system entries = %d items\n", u, s, tot)
+	fmt.Fprintf(&b, "deployment MTTF %.2f s, MTTR %.2f s, availability %.6f, %d failures (%d masked)\n",
+		d.MTTF, d.MTTR, d.Availability, d.Failures, d.Masked)
+	fmt.Fprintf(&b, "\nDeployment Table 2 (error-failure relationship, all piconets)\n%s",
+		r.Agg.Table2().Render())
+	fmt.Fprintf(&b, "Deployment Table 3 (SIRA effectiveness, all piconets)\n%s",
+		r.Agg.Table3().Render())
+	fmt.Fprintf(&b, "\nPiconet overview\n%s", r.Overview.Render())
+	if r.Bridges != nil {
+		fmt.Fprintf(&b, "\nAll-bridge summary (%d bridges merged)\n", r.BridgeCount)
+		fmt.Fprintf(&b, "hops=%d relayed=%d lost=%d corrupt=%d outages=%d downtime=%.1f s mean-latency=%.2f s\n",
+			r.Bridges.Hops, r.Bridges.Relayed, r.Bridges.RelayLost, r.Bridges.RelayCorrupted,
+			r.Bridges.Outages, r.Bridges.Downtime.Sum(), r.Bridges.RelayLatency.Mean())
+	}
+	if r.RelayDepth != nil && (len(r.RelayDepth.ByDepth) > 0 || r.RelayDepth.Unreachable > 0) {
+		fmt.Fprintf(&b, "\nRelay delay vs depth (pair sample fraction %.4f)\n%s",
+			r.ProbePairFraction, r.RelayDepth.RenderSampled(r.ProbePairFraction))
+	}
+	return b.String()
+}

@@ -164,6 +164,47 @@ func (a *BridgeAccum) AddOutageDrop(piconet int) {
 	}
 }
 
+// Merge folds another bridge's accumulator into a, producing a summary row
+// covering both (the hierarchical roll-up's all-bridge line; a keeps its own
+// Bridge/Device labels). Counters and per-kind failure tallies sum exactly;
+// Downtime and RelayLatency merge via the parallel Welford combination;
+// Serves becomes the sorted union and Coupling the piconet-matched sum,
+// re-sorted by piconet so merged rows render identically regardless of
+// merge grouping.
+func (a *BridgeAccum) Merge(o *BridgeAccum) {
+	if o == nil {
+		return
+	}
+	a.Hops += o.Hops
+	a.Relayed += o.Relayed
+	a.RelayLost += o.RelayLost
+	a.RelayCorrupted += o.RelayCorrupted
+	a.Outages += o.Outages
+	a.SysErrors += o.SysErrors
+	for k, n := range o.FailuresByKind {
+		a.FailuresByKind[k] += n
+	}
+	a.Downtime.Merge(o.Downtime)
+	a.RelayLatency.Merge(o.RelayLatency)
+	for _, oc := range o.Coupling {
+		c := a.coupling(oc.Piconet)
+		if c == nil {
+			c = &BridgeCoupling{Piconet: oc.Piconet}
+			a.Coupling = append(a.Coupling, c)
+			a.Serves = append(a.Serves, oc.Piconet)
+		}
+		c.Outages += oc.Outages
+		c.OutageSeconds += oc.OutageSeconds
+		c.Delivered += oc.Delivered
+		c.Lost += oc.Lost
+		c.Corrupted += oc.Corrupted
+		c.DroppedInOutage += oc.DroppedInOutage
+		c.DroppedQueueFull += oc.DroppedQueueFull
+	}
+	sort.Ints(a.Serves)
+	sort.Slice(a.Coupling, func(i, j int) bool { return a.Coupling[i].Piconet < a.Coupling[j].Piconet })
+}
+
 // AddQueueDrop records one relay SDU that found the piconet's
 // store-and-forward queue full.
 func (a *BridgeAccum) AddQueueDrop(piconet int) {

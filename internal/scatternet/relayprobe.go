@@ -21,13 +21,18 @@ func relayAirTime(bytes int) sim.Time {
 	return sim.Time(float64(bytes) * 8 / relayAirRateBps * float64(sim.Second))
 }
 
-// prober is the multi-hop relay measurement plane: for every ordered piconet
-// pair it offers probe SDUs on an exponential arrival process, walks the
-// topology's minimum-hop route, and accounts the end-to-end store-and-forward
-// delay by relay depth. The walk is analytic — it reads the bridges' current
-// outage state and their deterministic residency schedules without touching
-// any bridge or piconet state — so enabling probes cannot perturb the data
-// plane (the golden equivalence suite pins this).
+// prober is the multi-hop relay measurement plane: for every sampled ordered
+// piconet pair it offers probe SDUs on an exponential arrival process, walks
+// the topology's minimum-hop route, and accounts the end-to-end
+// store-and-forward delay by relay depth. The walk is analytic — it reads
+// the bridges' current outage state and their deterministic residency
+// schedules without touching any bridge or piconet state — so enabling
+// probes, or sampling them down, cannot perturb the data plane (the golden
+// equivalence suite pins this). Pair selection comes from samplePairs: at
+// the default fraction 1 every ordered pair probes (the legacy exhaustive
+// plane, byte-identical); below 1 only the seeded subset does, and each
+// included pair keeps its own named RNG stream, so the surviving pairs'
+// arrival processes are bit-identical to their exhaustive-run selves.
 type prober struct {
 	world   *sim.World
 	bridges []*bridge
@@ -36,12 +41,19 @@ type prober struct {
 	every   sim.Time
 	acc     *analysis.RelayDepthAccum
 
-	routes [][]Hop // one route per ordered pair, aligned with rngs/fns
+	routes [][]Hop // one route per sampled ordered pair, aligned with rngs/fns
+	srcs   []int   // source piconet per sampled pair (per-source attribution)
 	rngs   []*rand.Rand
 	fns    []func()
+
+	// bySrc holds per-source-piconet partials (allocated only in rollup
+	// mode); the hierarchical roll-up merges them in ascending source order.
+	bySrc []*analysis.RelayDepthAccum
 }
 
-// newProber precomputes every ordered pair's route and arrival stream.
+// newProber samples the probe-pair subset and precomputes each pair's route
+// (one shared Router, so the route build is O(sources·(P+E)) instead of the
+// per-pair adjacency rebuild) and arrival stream.
 func newProber(cfg Config, o *overlay, topo Topology) *prober {
 	pr := &prober{
 		world:   o.world,
@@ -51,18 +63,30 @@ func newProber(cfg Config, o *overlay, topo Topology) *prober {
 		every:   cfg.RelayProbeEvery,
 		acc:     analysis.NewRelayDepthAccum(),
 	}
-	for src := 0; src < topo.Piconets; src++ {
-		for dst := 0; dst < topo.Piconets; dst++ {
-			if src == dst {
-				continue
-			}
-			i := len(pr.routes)
-			pr.routes = append(pr.routes, topo.Route(src, dst))
-			pr.rngs = append(pr.rngs, o.world.RNG(fmt.Sprintf("probe.%d.%d", src, dst)))
-			pr.fns = append(pr.fns, func() { pr.probe(i) })
-		}
+	if cfg.Rollup {
+		pr.bySrc = make([]*analysis.RelayDepthAccum, topo.Piconets)
+	}
+	router := NewRouter(topo)
+	for _, pair := range samplePairs(topo.Piconets, cfg.ProbePairFraction, cfg.Seed) {
+		i := len(pr.routes)
+		pr.routes = append(pr.routes, router.Route(pair.src, pair.dst))
+		pr.srcs = append(pr.srcs, pair.src)
+		pr.rngs = append(pr.rngs, o.world.RNG(fmt.Sprintf("probe.%d.%d", pair.src, pair.dst)))
+		pr.fns = append(pr.fns, func() { pr.probe(i) })
 	}
 	return pr
+}
+
+// srcAccum returns pair i's per-source partial (nil outside rollup mode).
+func (pr *prober) srcAccum(i int) *analysis.RelayDepthAccum {
+	if pr.bySrc == nil {
+		return nil
+	}
+	src := pr.srcs[i]
+	if pr.bySrc[src] == nil {
+		pr.bySrc[src] = analysis.NewRelayDepthAccum()
+	}
+	return pr.bySrc[src]
 }
 
 // start schedules every pair's first probe arrival.
@@ -87,6 +111,9 @@ func (pr *prober) probe(i int) {
 	route := pr.routes[i]
 	if route == nil {
 		pr.acc.AddUnreachable()
+		if a := pr.srcAccum(i); a != nil {
+			a.AddUnreachable()
+		}
 		return
 	}
 	t := now
@@ -105,6 +132,9 @@ func (pr *prober) probe(i int) {
 		t = nextResidency(t, pr.hold, b.serves, h.To)
 	}
 	pr.acc.AddProbe(len(route), (t - now).Seconds())
+	if a := pr.srcAccum(i); a != nil {
+		a.AddProbe(len(route), (t - now).Seconds())
+	}
 }
 
 // nextResidency reports the earliest instant >= t at which the hold schedule

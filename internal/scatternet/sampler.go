@@ -1,0 +1,52 @@
+package scatternet
+
+import "math/rand/v2"
+
+// The probe-pair sampler: at city scale the relay probe plane is the O(P²)
+// wall — 10³ piconets mean 999,000 ordered pairs, each with its own arrival
+// process and route walks — while the delay-vs-depth table it feeds needs
+// only a statistically sufficient pair subset. The sampler draws that subset
+// deterministically from the campaign seed, independent of every simulation
+// RNG stream: pair inclusion is a seeded Bernoulli coin per ordered pair in
+// canonical order, so the sample is reproducible per seed, never perturbs
+// the data plane (probes are read-only and per-pair RNG streams are named,
+// so excluded pairs simply never draw), and fraction 1 degenerates to the
+// exhaustive pre-sampling pair set without consuming a single random number.
+// The matching estimator lives in analysis.RelayDepthAccum.EstimatedProbes:
+// with each pair kept with probability f, an observed count scales by 1/f
+// (Horvitz–Thompson) and the delay moments are unbiased as sampled.
+
+// probeSampleSalt decorrelates the pair-sampling stream from the topology
+// generator and every simulation world derived from the same root seed.
+const probeSampleSalt = 0x9A1B5C0FFEE5A17
+
+// probePair is one sampled ordered piconet pair.
+type probePair struct {
+	src, dst int
+}
+
+// samplePairs returns the sampled ordered pairs in canonical order (src
+// ascending, then dst ascending, src != dst). fraction >= 1 (or <= 0, the
+// unset zero value) includes every pair without touching the RNG — the
+// exhaustive set, exactly; otherwise each pair is kept with independent
+// probability fraction, drawn from a PCG stream seeded by (seed,
+// probeSampleSalt).
+func samplePairs(piconets int, fraction float64, seed uint64) []probePair {
+	exhaustive := fraction <= 0 || fraction >= 1
+	var rng *rand.Rand
+	if !exhaustive {
+		rng = rand.New(rand.NewPCG(seed, probeSampleSalt))
+	}
+	var pairs []probePair
+	for src := 0; src < piconets; src++ {
+		for dst := 0; dst < piconets; dst++ {
+			if src == dst {
+				continue
+			}
+			if exhaustive || rng.Float64() < fraction {
+				pairs = append(pairs, probePair{src: src, dst: dst})
+			}
+		}
+	}
+	return pairs
+}

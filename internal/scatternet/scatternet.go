@@ -34,10 +34,23 @@
 // All aggregation is streaming-compatible: per-piconet tables come from one
 // analysis.Streamer per piconet and the bridge accumulators are O(1) by
 // construction, so month-scale scatternet campaigns run in constant memory.
+//
+// The execution model is sharded for city scale (10³ piconets): the piconet
+// index space is partitioned into Parallelism contiguous ranges, each run by
+// one worker that lazily builds, runs and — in Rollup mode — folds one
+// piconet world at a time, so live memory is O(Parallelism), not
+// O(Piconets). Relay probing samples a seeded subset of ordered pairs
+// (ProbePairFraction) to flatten the O(P²) probe wall, and the hierarchical
+// roll-up merges per-shard partials into one metro-wide report whose bytes
+// are shard-count invariant. The overlay deliberately stays a single world:
+// bridges share the NAP anchors and the connection-handle sequence, so
+// splitting it would change results — and it is O(bridges), not O(P²), so
+// it is never the scaling bottleneck.
 package scatternet
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/analysis"
@@ -99,19 +112,43 @@ type Config struct {
 	// (default 64); arrivals beyond it are counted as queue drops.
 	QueueCap int
 	// RelayProbeEvery is the mean inter-arrival of multi-hop relay probes
-	// per ordered piconet pair (default 60 s). Probes walk the topology's
-	// minimum-hop route analytically — they read bridge state but never
-	// perturb it — and feed the delay-vs-relay-depth table.
+	// per sampled ordered piconet pair (default 60 s). Probes walk the
+	// topology's minimum-hop route analytically — they read bridge state
+	// but never perturb it — and feed the delay-vs-relay-depth table.
 	RelayProbeEvery sim.Time
+	// ProbePairFraction samples the relay probe plane over a seeded subset
+	// of ordered piconet pairs: each pair is kept with this independent
+	// probability, drawn deterministically from the campaign seed (see
+	// samplePairs). 0 (the unset default) and 1 probe every pair — the
+	// exhaustive pre-sampling plane, byte-identical. Sampling cannot
+	// perturb the data plane, and the delay-vs-depth table's probe counts
+	// scale back by 1/fraction (analysis.RelayDepthAccum.EstimatedProbes,
+	// Horvitz–Thompson) while the delay moments are unbiased as sampled.
+	// City-scale runs want roughly 4·Piconets kept pairs, i.e. a fraction
+	// around 4/(Piconets-1) — the O(P²) probe wall flattened to O(P).
+	ProbePairFraction float64
 	// Streaming folds each piconet's records into running aggregates as
 	// they are collected (O(1) memory in campaign length), exactly like
 	// the single-piconet streaming plane.
 	Streaming bool
 	// FlushEvery is the streaming drain cadence (default one virtual hour).
 	FlushEvery sim.Time
-	// Parallelism 0 (default) runs the piconets and the bridge overlay on
-	// separate goroutines (each owns its world, so results are identical
-	// to sequential execution); 1 forces a single goroutine.
+	// Rollup (requires Streaming) folds every finished piconet into its
+	// shard's partial — merged hierarchically into Result.Rollup, the one
+	// metro-wide report — and drops the per-piconet results, so live
+	// memory stays flat in Piconets (Result.Piconets comes back nil).
+	Rollup bool
+	// Parallelism is the piconet plane's shard count: piconets are
+	// partitioned into that many contiguous index ranges, each processed
+	// in ascending order by one worker goroutine that lazily builds, runs
+	// and (in rollup mode) folds one piconet world at a time, while the
+	// bridge overlay — a single world by construction, bridges share NAP
+	// anchors — runs concurrently. 0 means GOMAXPROCS, capped at Piconets;
+	// 1 forces the fully sequential path (piconets in index order on the
+	// calling goroutine, then the overlay). Any value produces identical
+	// results: no state crosses a world boundary until everything has
+	// finished, and the roll-up's merge is shard-count invariant (pinned
+	// by the golden equivalence and merge-law suites).
 	Parallelism int
 
 	// MutateBridgeHost adjusts bridge host configurations before the
@@ -175,6 +212,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("scatternet: non-positive relay queue capacity")
 	case c.FlushEvery < 0:
 		return fmt.Errorf("scatternet: negative streaming flush interval")
+	case c.ProbePairFraction < 0 || c.ProbePairFraction > 1:
+		return fmt.Errorf("scatternet: probe pair fraction %v outside [0, 1]", c.ProbePairFraction)
+	case c.Rollup && !c.Streaming:
+		return fmt.Errorf("scatternet: hierarchical roll-up requires the streaming plane")
+	case c.Parallelism < 0:
+		return fmt.Errorf("scatternet: negative parallelism")
 	}
 	if c.Topology == nil {
 		switch {
@@ -222,7 +265,10 @@ type Piconet struct {
 
 // Result bundles a finished scatternet campaign.
 type Result struct {
-	Config   Config
+	Config Config
+	// Piconets holds the per-piconet collected data (nil in rollup mode —
+	// the per-piconet results are folded into Rollup and dropped as each
+	// piconet finishes, which is what keeps live memory flat in Piconets).
 	Piconets []*Piconet
 	// Topology is the effective bridge→piconet membership map the campaign
 	// ran (the explicit one, or the legacy ring made explicit).
@@ -236,20 +282,27 @@ type Result struct {
 	// Redundancy is the per-span redundancy aggregate: one row per group of
 	// bridges serving the same piconet set (empty table without bridges).
 	Redundancy *analysis.RedundancyTable
+	// Rollup is the hierarchical metro-wide roll-up (rollup mode only):
+	// deployment Table 2/3/4 merged across every piconet, the per-piconet
+	// overview, the all-bridge summary and the sampled delay-vs-depth
+	// table. Its bytes are shard-count invariant.
+	Rollup *analysis.ScatternetRollup
 }
 
-// Campaign is a live scatternet: the per-piconet testbed pairs plus the
-// bridge overlay.
+// Campaign is a live scatternet: the piconet plane (testbed pairs built
+// lazily, one per shard worker at a time) plus the bridge overlay.
 type Campaign struct {
 	cfg     Config
 	topo    Topology
-	pairs   []*testbed.Campaign
 	overlay *overlay
 }
 
-// New assembles the scatternet: one testbed pair per piconet (piconet 0
-// with the unmodified root seed) and, when the topology deploys bridges,
-// the overlay world with its bridge hosts and per-piconet NAP anchors.
+// New assembles the scatternet: the effective topology and, when it deploys
+// bridges, the overlay world with its bridge hosts and per-piconet NAP
+// anchors. Piconet worlds are NOT built here — each shard worker constructs
+// its piconets one at a time during Run (testbed.NewCampaign per piconet,
+// arena-backed by the slab event kernel), so a 10³-piconet campaign never
+// holds more than Parallelism piconet worlds live at once.
 func New(cfg Config) (*Campaign, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -258,59 +311,81 @@ func New(cfg Config) (*Campaign, error) {
 	topo := cfg.effectiveTopology()
 	cfg.Piconets, cfg.Bridges = topo.Piconets, topo.Bridges()
 	c := &Campaign{cfg: cfg, topo: topo}
-	for p := 0; p < topo.Piconets; p++ {
-		pair, err := testbed.NewCampaign(PiconetSeed(cfg.Seed, p), cfg.Scenario, nil)
-		if err != nil {
-			return nil, err
-		}
-		c.pairs = append(c.pairs, pair)
-	}
 	if topo.Bridges() > 0 {
 		c.overlay = newOverlay(cfg, topo)
 	}
 	return c, nil
 }
 
-// Run drives every piconet pair and the bridge overlay for the configured
-// duration and gathers the results. The piconets and the overlay are fully
-// independent simulations (each owns its kernel, RNG rig, hosts and logs),
-// so they run on separate goroutines unless Parallelism forces one; per-seed
-// determinism is untouched because no state crosses a world boundary until
-// everything has finished.
+// shardCount resolves the piconet plane's worker count.
+func (c *Campaign) shardCount() int {
+	s := c.cfg.Parallelism
+	if s <= 0 {
+		s = runtime.GOMAXPROCS(0)
+	}
+	if s > c.topo.Piconets {
+		s = c.topo.Piconets
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// shardState is one shard worker's output: the retained piconet results, or
+// (rollup mode) the fold its piconets were absorbed into.
+type shardState struct {
+	piconets []*Piconet
+	fold     *analysis.ScatternetFold
+	err      error
+}
+
+// Run drives the piconet plane and the bridge overlay for the configured
+// duration and gathers the results. Piconets are partitioned into
+// shardCount contiguous index ranges; each shard worker lazily builds, runs
+// and folds its piconets in ascending order while the overlay — one
+// independent world — runs concurrently. Every simulation owns its kernel,
+// RNG rig, hosts and logs, so no state crosses a world boundary until
+// everything has finished and the results are identical for any shard
+// count; Parallelism 1 degenerates to the fully sequential legacy path
+// (piconets in order on the calling goroutine, then the overlay), which the
+// golden equivalence suite pins byte-identical to the pre-shard engine.
 func (c *Campaign) Run() (*Result, error) {
 	res := &Result{
 		Config:     c.cfg,
-		Piconets:   make([]*Piconet, len(c.pairs)),
 		Topology:   c.topo,
 		Bridges:    &analysis.BridgeTable{},
 		RelayDepth: analysis.NewRelayDepthAccum(),
 		Redundancy: &analysis.RedundancyTable{},
 	}
-	errs := make([]error, len(c.pairs))
+	shards := c.shardCount()
+	states := make([]shardState, shards)
+	bounds := func(s int) (lo, hi int) {
+		return s * c.topo.Piconets / shards, (s + 1) * c.topo.Piconets / shards
+	}
 	if c.cfg.Parallelism == 1 {
-		for p := range c.pairs {
-			res.Piconets[p], errs[p] = c.runPiconet(p)
-		}
+		states[0] = c.runShard(0, c.topo.Piconets)
 		if c.overlay != nil {
 			c.overlay.Run(c.cfg.Duration)
 		}
 	} else {
 		var wg sync.WaitGroup
-		for p := range c.pairs {
+		for s := 0; s < shards; s++ {
 			wg.Add(1)
-			go func(p int) {
+			go func(s int) {
 				defer wg.Done()
-				res.Piconets[p], errs[p] = c.runPiconet(p)
-			}(p)
+				lo, hi := bounds(s)
+				states[s] = c.runShard(lo, hi)
+			}(s)
 		}
 		if c.overlay != nil {
 			c.overlay.Run(c.cfg.Duration)
 		}
 		wg.Wait()
 	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	for _, st := range states {
+		if st.err != nil {
+			return nil, st.err
 		}
 	}
 	if c.overlay != nil {
@@ -318,30 +393,124 @@ func (c *Campaign) Run() (*Result, error) {
 		res.RelayDepth = c.overlay.prober.acc
 		res.Redundancy = c.overlay.RedundancyTable(c.cfg.Duration)
 	}
-	return res, nil
-}
-
-// runPiconet runs one piconet's testbed pair on the configured plane. The
-// control flow mirrors the single-piconet campaign runner exactly, so
-// piconet 0's outputs are bit-identical to it.
-func (c *Campaign) runPiconet(p int) (*Piconet, error) {
-	pair := c.pairs[p]
-	pic := &Piconet{Index: p}
-	if c.cfg.Streaming {
-		s, err := analysis.NewStreamer(pair.StreamSpec())
+	if c.cfg.Rollup {
+		roll, err := c.rollup(states, res)
 		if err != nil {
 			return nil, err
 		}
-		if c.cfg.Parallelism == 1 {
-			pic.Random, pic.Realistic = pair.RunStreamingSequential(c.cfg.Duration, c.cfg.FlushEvery, s)
-		} else {
-			pic.Random, pic.Realistic = pair.RunStreaming(c.cfg.Duration, c.cfg.FlushEvery, s)
-		}
-		pic.Agg = s.Finalize()
-	} else if c.cfg.Parallelism == 1 {
-		pic.Random, pic.Realistic = pair.RunSequential(c.cfg.Duration)
-	} else {
-		pic.Random, pic.Realistic = pair.Run(c.cfg.Duration)
+		res.Rollup = roll
+		return res, nil
 	}
-	return pic, nil
+	for _, st := range states {
+		res.Piconets = append(res.Piconets, st.piconets...)
+	}
+	return res, nil
+}
+
+// runShard builds, runs and collects piconets [lo, hi) in ascending order.
+// In rollup mode each finished piconet folds into the shard's partial and
+// is dropped immediately, so the shard's live state is one piconet world
+// plus O(1) fold accumulators regardless of its range size.
+func (c *Campaign) runShard(lo, hi int) shardState {
+	var st shardState
+	if c.cfg.Rollup {
+		st.fold = analysis.NewScatternetFold(c.cfg.Scenario.String())
+	}
+	for p := lo; p < hi; p++ {
+		pic, trace, err := c.runPiconet(p)
+		if err != nil {
+			st.err = err
+			return st
+		}
+		if c.cfg.Rollup {
+			if err := st.fold.AddPiconet(p, pic.Agg, trace); err != nil {
+				st.err = err
+				return st
+			}
+			continue
+		}
+		st.piconets = append(st.piconets, pic)
+	}
+	return st
+}
+
+// runPiconet lazily builds and runs one piconet's testbed pair on the
+// configured plane. The control flow mirrors the single-piconet campaign
+// runner exactly, so piconet 0's outputs are bit-identical to it; both
+// testbeds run sequentially on the shard worker's goroutine (parallelism
+// comes from sharding the piconet space, and the sequential testbed paths
+// produce results identical to the goroutine-per-testbed ones). In rollup
+// mode the streamer also records the depend trace the metro fold
+// re-interleaves.
+func (c *Campaign) runPiconet(p int) (*Piconet, []analysis.DependEvent, error) {
+	pair, err := testbed.NewCampaign(PiconetSeed(c.cfg.Seed, p), c.cfg.Scenario, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	pic := &Piconet{Index: p}
+	if !c.cfg.Streaming {
+		pic.Random, pic.Realistic = pair.RunSequential(c.cfg.Duration)
+		return pic, nil, nil
+	}
+	spec := pair.StreamSpec()
+	if c.cfg.Rollup {
+		spec.TraceDepend = true
+	}
+	s, err := analysis.NewStreamer(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	pic.Random, pic.Realistic = pair.RunStreamingSequential(c.cfg.Duration, c.cfg.FlushEvery, s)
+	pic.Agg = s.Finalize()
+	return pic, s.DependTrace(), nil
+}
+
+// rollup merges the shard partials into the metro-wide report: the folds
+// merge in ascending shard order (exact, so the grouping cannot show), the
+// all-bridge summary row merges the bridge rows in row order, and the
+// relay-depth table merges the prober's per-source partials in ascending
+// source order — every combination order is fixed by the campaign, not by
+// the sharding, which is what makes the report bytes shard-count invariant.
+func (c *Campaign) rollup(states []shardState, res *Result) (*analysis.ScatternetRollup, error) {
+	fold := states[0].fold
+	for _, st := range states[1:] {
+		if err := fold.Merge(st.fold); err != nil {
+			return nil, err
+		}
+	}
+	agg, overview, err := fold.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	roll := &analysis.ScatternetRollup{
+		Piconets:          c.topo.Piconets,
+		Scenario:          c.cfg.Scenario.String(),
+		Agg:               agg,
+		Overview:          overview,
+		ProbePairFraction: probeFraction(c.cfg.ProbePairFraction),
+	}
+	if c.overlay != nil {
+		if rows := res.Bridges.Rows; len(rows) > 0 {
+			sum := analysis.NewBridgeAccum("all", "-", nil)
+			for _, r := range rows {
+				sum.Merge(r)
+			}
+			roll.Bridges, roll.BridgeCount = sum, len(rows)
+		}
+		rd := analysis.NewRelayDepthAccum()
+		for _, a := range c.overlay.prober.bySrc {
+			rd.Merge(a)
+		}
+		roll.RelayDepth = rd
+	}
+	return roll, nil
+}
+
+// probeFraction normalizes the configured sampling fraction for reporting
+// (0, the unset default, means exhaustive — fraction 1).
+func probeFraction(f float64) float64 {
+	if f <= 0 || f >= 1 {
+		return 1
+	}
+	return f
 }

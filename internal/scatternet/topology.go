@@ -253,44 +253,99 @@ type Hop struct {
 // Route computes a minimum-hop relay path from piconet src to piconet dst
 // over the bridge graph, deterministically (BFS visiting piconets in
 // ascending order, lowest bridge index per edge). It returns nil when dst is
-// unreachable and an empty non-nil slice when src == dst.
+// unreachable and an empty non-nil slice when src == dst. One-shot
+// convenience over NewRouter — a caller routing many pairs of the same
+// topology should hold a Router, which amortizes the adjacency build and
+// the per-source BFS across queries.
 func (t Topology) Route(src, dst int) []Hop {
-	if src < 0 || src >= t.Piconets || dst < 0 || dst >= t.Piconets {
-		return nil
+	return NewRouter(t).Route(src, dst)
+}
+
+// Router answers minimum-hop route queries over one topology. It builds the
+// bridge-graph adjacency (sorted neighbor lists, lowest bridge per edge)
+// once and caches one BFS tree per queried source piconet, so routing k
+// pairs costs O(E + distinct-sources·(P+E)) instead of the O(k·(P+E))
+// rebuild-per-query of Topology.Route — the difference between O(P³) and
+// O(P²) for an exhaustive probe plane. Paths are identical to
+// Topology.Route's (the BFS visits piconets in the same ascending order and
+// prev entries are set exactly once, so an early-terminated and a full
+// traversal derive the same path — pinned by TestRouterMatchesRoute).
+// Not safe for concurrent use (the tree cache mutates lazily).
+type Router struct {
+	piconets int
+	neigh    [][]int       // sorted neighbor piconets per piconet
+	via      []map[int]int // lowest bridge serving each (u, v) edge
+	trees    []*routeTree
+}
+
+// routeTree is one source piconet's BFS tree.
+type routeTree struct {
+	prev []Hop
+	seen []bool
+}
+
+// NewRouter precomputes the topology's routing adjacency.
+func NewRouter(t Topology) *Router {
+	via := t.edgeMap()
+	r := &Router{
+		piconets: t.Piconets,
+		neigh:    make([][]int, t.Piconets),
+		via:      via,
+		trees:    make([]*routeTree, t.Piconets),
 	}
-	if src == dst {
-		return []Hop{}
+	for u := range via {
+		ns := make([]int, 0, len(via[u]))
+		for v := range via[u] {
+			ns = append(ns, v)
+		}
+		sort.Ints(ns)
+		r.neigh[u] = ns
 	}
-	edge := t.edgeMap()
-	prev := make([]Hop, t.Piconets)
-	seen := make([]bool, t.Piconets)
-	seen[src] = true
+	return r
+}
+
+// tree returns src's BFS tree, building it on first use.
+func (r *Router) tree(src int) *routeTree {
+	if t := r.trees[src]; t != nil {
+		return t
+	}
+	t := &routeTree{prev: make([]Hop, r.piconets), seen: make([]bool, r.piconets)}
+	t.seen[src] = true
 	frontier := []int{src}
-	for len(frontier) > 0 && !seen[dst] {
+	for len(frontier) > 0 {
 		var next []int
 		for _, u := range frontier {
-			neigh := make([]int, 0, len(edge[u]))
-			for v := range edge[u] {
-				neigh = append(neigh, v)
-			}
-			sort.Ints(neigh)
-			for _, v := range neigh {
-				if seen[v] {
+			for _, v := range r.neigh[u] {
+				if t.seen[v] {
 					continue
 				}
-				seen[v] = true
-				prev[v] = Hop{Bridge: edge[u][v], From: u, To: v}
+				t.seen[v] = true
+				t.prev[v] = Hop{Bridge: r.via[u][v], From: u, To: v}
 				next = append(next, v)
 			}
 		}
 		frontier = next
 	}
-	if !seen[dst] {
+	r.trees[src] = t
+	return t
+}
+
+// Route reports the minimum-hop path from src to dst with Topology.Route's
+// exact semantics: nil when unreachable, empty non-nil when src == dst.
+func (r *Router) Route(src, dst int) []Hop {
+	if src < 0 || src >= r.piconets || dst < 0 || dst >= r.piconets {
+		return nil
+	}
+	if src == dst {
+		return []Hop{}
+	}
+	t := r.tree(src)
+	if !t.seen[dst] {
 		return nil
 	}
 	var path []Hop
-	for v := dst; v != src; v = prev[v].From {
-		path = append(path, prev[v])
+	for v := dst; v != src; v = t.prev[v].From {
+		path = append(path, t.prev[v])
 	}
 	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
 		path[i], path[j] = path[j], path[i]

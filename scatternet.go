@@ -2,11 +2,17 @@ package btpan
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/analysis"
 	"repro/internal/scatternet"
 	"repro/internal/sim"
 )
+
+// randomTopologyBuilds counts RandomConnected materializations — observable
+// by the sweep regression test that pins the shared-map hoist (a random
+// sweep must not regenerate the graph once per seed in the hot loop).
+var randomTopologyBuilds atomic.Int64
 
 // Topology names for ScatternetConfig.Topology. The empty string keeps the
 // legacy ring-pair composition (bridge b serves b mod P, (b+1) mod P).
@@ -57,6 +63,20 @@ type ScatternetConfig struct {
 	RelayEvery sim.Time
 	// RelayBytes is the relayed SDU size (default 1024).
 	RelayBytes int
+	// ProbeSample samples the relay probe plane over a seeded subset of
+	// ordered piconet pairs: each pair is kept with this independent
+	// probability, deterministically per seed. 0 (default) and 1 probe
+	// every pair — the exhaustive plane, byte-identical to pre-sampling
+	// runs. Sampling never perturbs the data plane; the delay-vs-depth
+	// probe counts scale back by 1/fraction (Horvitz–Thompson) while the
+	// delay moments are unbiased. City-scale runs want roughly
+	// 4/(Piconets-1), keeping ~4·Piconets pairs.
+	ProbeSample float64
+	// Rollup (requires Streaming) folds every finished piconet into
+	// per-shard partials merged hierarchically into one metro-wide report
+	// (ScatternetResult.Rollup) and drops the per-piconet results, keeping
+	// live memory flat in Piconets. Report bytes are shard-count invariant.
+	Rollup bool
 }
 
 // topology resolves the configured membership map (nil for the legacy ring).
@@ -80,6 +100,7 @@ func (c ScatternetConfig) topology() (*scatternet.Topology, error) {
 	case c.Topology == TopologyMesh:
 		topo = scatternet.Mesh(c.Piconets)
 	case c.Topology == TopologyRandom:
+		randomTopologyBuilds.Add(1)
 		var err error
 		topo, err = scatternet.RandomConnected(c.Piconets, c.Bridges, c.Seed)
 		if err != nil {
@@ -100,18 +121,20 @@ func (c ScatternetConfig) internalConfig() (scatternet.Config, error) {
 		return scatternet.Config{}, err
 	}
 	cfg := scatternet.Config{
-		Seed:        c.Seed,
-		Duration:    c.Duration,
-		Scenario:    c.Scenario,
-		Piconets:    c.Piconets,
-		Bridges:     c.Bridges,
-		Topology:    topo,
-		HoldTime:    c.HoldTime,
-		RelayEvery:  c.RelayEvery,
-		RelayBytes:  c.RelayBytes,
-		Streaming:   c.Streaming,
-		FlushEvery:  c.FlushEvery,
-		Parallelism: c.Parallelism,
+		Seed:              c.Seed,
+		Duration:          c.Duration,
+		Scenario:          c.Scenario,
+		Piconets:          c.Piconets,
+		Bridges:           c.Bridges,
+		Topology:          topo,
+		HoldTime:          c.HoldTime,
+		RelayEvery:        c.RelayEvery,
+		RelayBytes:        c.RelayBytes,
+		ProbePairFraction: c.ProbeSample,
+		Streaming:         c.Streaming,
+		FlushEvery:        c.FlushEvery,
+		Rollup:            c.Rollup,
+		Parallelism:       c.Parallelism,
 	}
 	if topo != nil {
 		// The generated map dictates the piconet/bridge counts; the engine
@@ -151,6 +174,12 @@ type ScatternetResult struct {
 	// charged only while every bridge of a span is down at once, compared
 	// against the independent-failure model (empty without bridges).
 	Redundancy *analysis.RedundancyTable
+	// Rollup is the hierarchical metro-wide roll-up (Rollup mode only):
+	// deployment-wide Table 2/3/4, the per-piconet overview, the
+	// all-bridge summary and the sampled delay-vs-depth table. Piconets is
+	// empty in this mode — the per-piconet results were folded and dropped
+	// to keep memory flat.
+	Rollup *analysis.ScatternetRollup
 }
 
 // RunScatternet builds and runs the scatternet campaign: every piconet is a
@@ -178,6 +207,7 @@ func RunScatternet(cfg ScatternetConfig) (*ScatternetResult, error) {
 		Bridges:    res.Bridges,
 		RelayDepth: res.RelayDepth,
 		Redundancy: res.Redundancy,
+		Rollup:     res.Rollup,
 	}
 	for _, pic := range res.Piconets {
 		picCfg := cfg.CampaignConfig
@@ -196,7 +226,12 @@ func RunScatternet(cfg ScatternetConfig) (*ScatternetResult, error) {
 func (r *ScatternetResult) Piconet(p int) *CampaignResult { return r.Piconets[p] }
 
 // Overview lines up every piconet's dataset sizes and dependability column.
+// In rollup mode the per-piconet results were folded and dropped, so the
+// overview comes from the roll-up instead.
 func (r *ScatternetResult) Overview() *analysis.PiconetOverview {
+	if len(r.Piconets) == 0 && r.Rollup != nil {
+		return r.Rollup.Overview
+	}
 	o := &analysis.PiconetOverview{}
 	for p, pic := range r.Piconets {
 		u, s, _ := pic.DataItems()

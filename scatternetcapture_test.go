@@ -1,0 +1,151 @@
+package btpan
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The engine-capture suite extends the PR 3 golden pin to the full topology
+// matrix: the digests below testdata/scatternet_engine_golden.txt were
+// captured from the pre-refactor pair-world engine (one goroutine world per
+// piconet, exhaustive ordered-pair relay probing) for ring, star, mesh,
+// random and the legacy ring-pair configuration at P = 1..4, on both
+// aggregation planes. The sharded engine must keep reproducing every digit —
+// dataset sizes, dependability, bridge coupling, relay-depth summaries,
+// redundancy accounting and the rendered paper tables — before the old
+// execution model could be deleted (ARCHITECTURE.md invariant 11).
+//
+// Regenerate (only when intentionally re-baselining against a known-good
+// engine) with:
+//
+//	go test -run TestGoldenEngineCaptures -update-scatternet-golden
+var updateScatternetGolden = flag.Bool("update-scatternet-golden", false,
+	"rewrite testdata/scatternet_engine_golden.txt from the current engine")
+
+// engineGoldenPath is the capture file the suite pins against.
+const engineGoldenPath = "testdata/scatternet_engine_golden.txt"
+
+// engineGoldenCase is one pinned topology/size configuration.
+type engineGoldenCase struct {
+	name string
+	cfg  ScatternetConfig
+}
+
+// engineGoldenCases enumerates the pinned capture matrix: every built-in
+// topology (plus the legacy ring-pair path) at P = 1..4 on one plane; the
+// suite runs each on both planes.
+func engineGoldenCases(streaming bool) []engineGoldenCase {
+	base := CampaignConfig{
+		Seed: 11, Duration: 3 * sim.Hour, Scenario: ScenarioSIRAs,
+		Streaming: streaming, Parallelism: 1,
+	}
+	var cases []engineGoldenCase
+	for p := 1; p <= 4; p++ {
+		legacy := ScatternetConfig{CampaignConfig: base, Piconets: p,
+			Bridges: p - 1, HoldTime: 10 * sim.Second}
+		cases = append(cases, engineGoldenCase{fmt.Sprintf("legacy/P=%d", p), legacy})
+		for _, topo := range []string{TopologyRing, TopologyStar, TopologyMesh, TopologyRandom} {
+			cfg := ScatternetConfig{CampaignConfig: base, Piconets: p,
+				Topology: topo, HoldTime: 10 * sim.Second}
+			if topo == TopologyRandom {
+				if p >= 2 {
+					cfg.Bridges = p // spanning tree plus one extra random span
+				}
+			}
+			cases = append(cases, engineGoldenCase{fmt.Sprintf("%s/P=%d", topo, p), cfg})
+		}
+	}
+	return cases
+}
+
+// engineDigest renders one campaign result at pinning precision: the
+// topology, the per-piconet datasets and dependability, the bridge and
+// coupling rows, the relay-depth summaries, the redundancy rows, and the
+// rendered overview and paper tables.
+func engineDigest(res *ScatternetResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "topology: piconets=%d members=%v\n", res.Topology.Piconets, res.Topology.Members)
+	for _, line := range goldenPiconetLines(res) {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	for _, line := range goldenBridgeLines(res) {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	for _, d := range res.RelayDepth.Depths() {
+		s := res.RelayDepth.ByDepth[d]
+		fmt.Fprintf(&b, "relay depth=%d: n=%d mean=%.9f min=%.9f max=%.9f\n",
+			d, s.N(), s.Mean(), s.Min(), s.Max())
+	}
+	fmt.Fprintf(&b, "relay unreachable=%d\n", res.RelayDepth.Unreachable)
+	for _, g := range res.Redundancy.Rows {
+		fmt.Fprintf(&b, "span %v bridges=%v k=%d memberOut=%d memberDown=%v allDownN=%d allDownS=%.9f\n",
+			g.Span, g.Bridges, g.K, g.MemberOutages, g.MemberDownSeconds,
+			g.AllDownEpisodes, g.AllDownSeconds)
+	}
+	fmt.Fprintf(&b, "overview:\n%s", res.Overview().Render())
+	for p, pic := range res.Piconets {
+		fmt.Fprintf(&b, "piconet %d table2:\n%s", p, pic.Table2().Render())
+		fmt.Fprintf(&b, "piconet %d table3:\n%s", p, pic.Table3().Render())
+	}
+	return b.String()
+}
+
+// captureEngineGolden runs the full capture matrix and renders the golden
+// file body, one section per (config, plane).
+func captureEngineGolden(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	for _, streaming := range []bool{false, true} {
+		for _, tc := range engineGoldenCases(streaming) {
+			res, err := RunScatternet(tc.cfg)
+			if err != nil {
+				t.Fatalf("%s (streaming=%v): %v", tc.name, streaming, err)
+			}
+			fmt.Fprintf(&b, "=== %s streaming=%v\n%s", tc.name, streaming, engineDigest(res))
+		}
+	}
+	return b.String()
+}
+
+// TestGoldenEngineCaptures pins the engine digit-for-digit against the
+// pre-refactor pair-world captures for every built-in topology at P = 1..4,
+// on both aggregation planes.
+func TestGoldenEngineCaptures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine capture matrix runs 40 three-hour campaigns; skipped in -short")
+	}
+	got := captureEngineGolden(t)
+	if *updateScatternetGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(engineGoldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", engineGoldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(engineGoldenPath)
+	if err != nil {
+		t.Fatalf("missing capture file (run with -update-scatternet-golden on a known-good engine): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("engine diverges from the pre-refactor capture at line %d:\ngot:  %s\nwant: %s",
+				i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("engine digest length diverges from the pre-refactor capture: got %d lines, want %d",
+		len(gotLines), len(wantLines))
+}

@@ -1,0 +1,85 @@
+package btpan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestScatternetRollupPublicAPI drives the hierarchical roll-up through the
+// public surface: Rollup mode must return the metro report instead of
+// per-piconet results, Overview() must fall back to the roll-up's overview,
+// and the render must carry the deployment tables.
+func TestScatternetRollupPublicAPI(t *testing.T) {
+	cfg := ScatternetConfig{
+		CampaignConfig: CampaignConfig{
+			Seed: 5, Duration: 2 * sim.Hour, Scenario: ScenarioSIRAs, Streaming: true,
+		},
+		Piconets: 4, Topology: TopologyRing,
+		ProbeSample: 0.5, Rollup: true,
+	}
+	res, err := RunScatternet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rollup == nil {
+		t.Fatal("Rollup mode returned no roll-up")
+	}
+	if len(res.Piconets) != 0 {
+		t.Fatalf("Rollup mode retained %d per-piconet results, want none", len(res.Piconets))
+	}
+	overview := res.Overview()
+	if overview == nil || len(overview.Rows) != 4 {
+		t.Fatalf("Overview() fallback = %+v, want the roll-up's 4 rows", overview)
+	}
+	out := res.Rollup.Render()
+	for _, want := range []string{
+		"Scatternet roll-up: 4 piconets",
+		"Deployment Table 2",
+		"Deployment Table 3",
+		"Piconet overview",
+		"All-bridge summary",
+		"pair sample fraction 0.5000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("roll-up render is missing %q:\n%s", want, out)
+		}
+	}
+
+	// Rollup without the streaming plane must be rejected up front.
+	bad := cfg
+	bad.Streaming = false
+	if err := bad.Validate(); err == nil {
+		t.Error("Rollup without Streaming must fail validation")
+	}
+	if _, err := RunScatternet(bad); err == nil {
+		t.Error("RunScatternet must reject Rollup without Streaming")
+	}
+}
+
+// TestRandomSweepBuildsTopologyOnce is the hot-loop regression guard for
+// random-topology sweeps: the RandomConnected graph is a function of the
+// base seed alone, so a sweep must materialize it once up front (plus one
+// probe build inside Validate) — not once per seed inside the worker pool.
+func TestRandomSweepBuildsTopologyOnce(t *testing.T) {
+	before := randomTopologyBuilds.Load()
+	res, err := Sweep(SweepConfig{
+		BaseSeed: 7, Seeds: 5, Duration: 1 * sim.Hour, Scenario: ScenarioSIRAs,
+		Piconets: 4, Bridges: 5, Topology: TopologyRandom, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds := randomTopologyBuilds.Load() - before
+	if builds > 2 {
+		t.Errorf("5-seed random sweep built the topology %d times, want at most 2 (validate probe + materialization)", builds)
+	}
+	members := res.Scatternets[0].Topology.Members
+	for i, r := range res.Scatternets {
+		if len(r.Topology.Members) != len(members) {
+			t.Fatalf("seed %d ran a different topology (%d vs %d bridges) — the shared map was not pinned",
+				i, len(r.Topology.Members), len(members))
+		}
+	}
+}

@@ -8,13 +8,16 @@
 # wall-clock seconds of the end-to-end multi-process collection smoke
 # (sink + 2 agents over loopback, clean + kill/resume passes — PR 5), and
 # the agent-side WAL overhead ratio (streaming day shipped through a real
-# agent/sink pair with and without the spill log — PR 6; budget: < 0.15).
-# Usage: scripts/bench.sh [day-benchtime] [month-benchtime]
+# agent/sink pair with and without the spill log — PR 6; budget: < 0.15),
+# and the scatternet scaling ladder (64/256/1024-piconet virtual days on the
+# sharded roll-up engine — PR 8; live_mb must stay flat across the ladder).
+# Usage: scripts/bench.sh [day-benchtime] [month-benchtime] [scale-benchtime]
 set -eu
 
 cd "$(dirname "$0")/.."
 day_benchtime="${1:-5x}"
 month_benchtime="${2:-1x}"
+scale_benchtime="${3:-1x}"
 
 # Warm the build cache first so the smoke's internal go-build steps are
 # cache hits and the timed value measures the collection plane, not the
@@ -25,17 +28,20 @@ smoke_start="$(date +%s)"
 smoke_secs="$(($(date +%s) - smoke_start))"
 
 day_out="$(go test -run '^$' -bench '^BenchmarkCampaignDay$' -benchtime "$day_benchtime" -benchmem . | tee /dev/stderr)"
-month_out="$(go test -run '^$' -bench '^Benchmark(CampaignMonth|ScatternetDay)' -benchtime "$month_benchtime" -benchmem . | tee /dev/stderr)"
+month_out="$(go test -run '^$' -bench '^Benchmark(CampaignMonth(Retained)?|ScatternetDay)$' -benchtime "$month_benchtime" -benchmem . | tee /dev/stderr)"
+# The scaling ladder runs at 1x by default: the city rung is a whole
+# 1024-piconet virtual day per iteration.
+scale_out="$(go test -run '^$' -bench '^BenchmarkScatternetDay(64|256|1024)$' -benchtime "$scale_benchtime" -benchmem -timeout 60m . | tee /dev/stderr)"
 # The agent pair is cheap per op; a fixed high count keeps the overhead
 # ratio stable against scheduler noise.
 agent_out="$(go test -run '^$' -bench '^BenchmarkAgentStreamDay' -benchtime 100x -benchmem ./internal/collector | tee /dev/stderr)"
 
-printf '%s\n%s\n%s\n' "$day_out" "$month_out" "$agent_out" | awk -v smoke="$smoke_secs" '
+printf '%s\n%s\n%s\n%s\n' "$day_out" "$month_out" "$scale_out" "$agent_out" | awk -v smoke="$smoke_secs" '
 # Benchmark lines interleave custom metrics with the standard ones, so pick
 # values by their unit token instead of field position.
 /^Benchmark(Campaign|Scatternet|Agent)/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns = bytes = allocs = live = items = outages = ""
+    ns = bytes = allocs = live = items = outages = probes = ""
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op") ns = $(i-1)
         if ($i == "B/op") bytes = $(i-1)
@@ -43,6 +49,7 @@ printf '%s\n%s\n%s\n' "$day_out" "$month_out" "$agent_out" | awk -v smoke="$smok
         if ($i == "live-MB") live = $(i-1)
         if ($i == "items") items = $(i-1)
         if ($i == "corr-outages") outages = $(i-1)
+        if ($i == "probes") probes = $(i-1)
     }
     if (name == "BenchmarkCampaignDay") { d_ns = ns; d_b = bytes; d_a = allocs; d_live = live }
     if (name == "BenchmarkCampaignMonth") { m_ns = ns; m_b = bytes; m_a = allocs; m_live = live; m_items = items }
@@ -50,12 +57,18 @@ printf '%s\n%s\n%s\n' "$day_out" "$month_out" "$agent_out" | awk -v smoke="$smok
     if (name == "BenchmarkScatternetDay") { s_ns = ns; s_b = bytes; s_a = allocs; s_live = live; s_items = items; s_out = outages }
     if (name == "BenchmarkAgentStreamDay") { ag_ns = ns }
     if (name == "BenchmarkAgentStreamDaySpill") { ags_ns = ns }
+    if (name == "BenchmarkScatternetDay64") { sc64_ns = ns; sc64_live = live; sc64_items = items; sc64_probes = probes }
+    if (name == "BenchmarkScatternetDay256") { sc256_ns = ns; sc256_live = live; sc256_items = items; sc256_probes = probes }
+    if (name == "BenchmarkScatternetDay1024") { sc1024_ns = ns; sc1024_live = live; sc1024_items = items; sc1024_probes = probes }
 }
 END {
     if (d_ns == "" || d_b == "" || d_a == "" || d_live == "" ||
         m_ns == "" || m_b == "" || m_a == "" || m_live == "" ||
         m_items == "" || r_live == "" ||
         s_ns == "" || s_b == "" || s_a == "" || s_live == "" || s_items == "" || s_out == "" ||
+        sc64_ns == "" || sc64_live == "" || sc64_items == "" || sc64_probes == "" ||
+        sc256_ns == "" || sc256_live == "" || sc256_items == "" || sc256_probes == "" ||
+        sc1024_ns == "" || sc1024_live == "" || sc1024_items == "" || sc1024_probes == "" ||
         ag_ns == "" || ags_ns == "") {
         print "bench.sh: missing benchmark lines or metrics" > "/dev/stderr"
         exit 1
@@ -86,6 +99,11 @@ END {
     printf "    \"items\": %s,\n", s_items
     printf "    \"correlated_outages\": %s\n", s_out
     printf "  },\n"
+    printf "  \"scatternet_scaling\": [\n"
+    printf "    {\"piconets\": 64, \"ns_per_op\": %s, \"live_mb\": %s, \"items\": %s, \"probes\": %s},\n", sc64_ns, sc64_live, sc64_items, sc64_probes
+    printf "    {\"piconets\": 256, \"ns_per_op\": %s, \"live_mb\": %s, \"items\": %s, \"probes\": %s},\n", sc256_ns, sc256_live, sc256_items, sc256_probes
+    printf "    {\"piconets\": 1024, \"ns_per_op\": %s, \"live_mb\": %s, \"items\": %s, \"probes\": %s}\n", sc1024_ns, sc1024_live, sc1024_items, sc1024_probes
+    printf "  ],\n"
     printf "  \"agent_stream_day_ns\": %s,\n", ag_ns
     printf "  \"agent_stream_day_spill_ns\": %s,\n", ags_ns
     printf "  \"agent_wal_overhead_ratio\": %.4f,\n", (ags_ns - ag_ns) / ag_ns

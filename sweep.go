@@ -60,6 +60,12 @@ type SweepConfig struct {
 	Topology   string
 	Redundancy int
 	HoldTime   sim.Time
+
+	// randomMembers pins the materialized random membership map for the
+	// whole sweep (set once by Sweep via materializeTopology): without it,
+	// every seed's worker would regenerate — and re-validate — the same
+	// RandomConnected graph inside the hot loop.
+	randomMembers [][]int
 }
 
 // Scatternet reports whether the sweep runs scatternet campaigns (any
@@ -89,14 +95,41 @@ func (c SweepConfig) scatternetConfig(i int) ScatternetConfig {
 		HoldTime:   c.HoldTime,
 	}
 	if c.Topology == TopologyRandom {
-		base := sc
-		base.Seed = c.BaseSeed
-		if topo, err := base.topology(); err == nil {
+		members := c.randomMembers
+		if members == nil {
+			// Sweep pins the map up front; this fallback covers direct
+			// scatternetConfig callers (Validate's probe config).
+			members = c.materializeTopology().randomMembers
+		}
+		if members != nil {
 			// topology() already applied the redundancy replication.
-			sc.Members, sc.Topology, sc.Redundancy = topo.Members, "", 0
+			sc.Members, sc.Topology, sc.Redundancy = members, "", 0
 		}
 	}
 	return sc
+}
+
+// materializeTopology resolves the shared random membership map once per
+// sweep, from the base seed, so the per-seed workers reuse it instead of
+// regenerating and re-validating the same graph in the hot loop (the CIs
+// measure seed-to-seed variation of one graph either way — this only moves
+// the generation out of the per-seed path). Non-random sweeps pass through
+// unchanged.
+func (c SweepConfig) materializeTopology() SweepConfig {
+	if c.Topology != TopologyRandom || c.randomMembers != nil {
+		return c
+	}
+	base := ScatternetConfig{
+		CampaignConfig: CampaignConfig{Seed: c.BaseSeed, Duration: c.Duration, Scenario: c.Scenario},
+		Piconets:       c.Piconets,
+		Bridges:        c.Bridges,
+		Topology:       c.Topology,
+		Redundancy:     c.Redundancy,
+	}
+	if topo, err := base.topology(); err == nil {
+		c.randomMembers = topo.Members
+	}
+	return c
 }
 
 // Validate reports configuration errors.
@@ -136,6 +169,7 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cfg = cfg.materializeTopology()
 	workers := cfg.Workers
 	if workers == 0 {
 		workers = runtime.NumCPU() / 2
