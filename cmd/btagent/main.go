@@ -51,6 +51,28 @@
 //	-delay D         fault injection: delay imposed on a delay decision
 //	-delay-rate P    fault injection: P(delay) per data frame (default 0)
 //	-fault-seed N    fault injection decision seed (default 1)
+//
+// Scatternet mode (-scatternet) turns the agent into one district shard of
+// a distributed metro campaign: it owns the contiguous piconet range
+// -piconet-range A:B of a -piconets P scatternet, runs each piconet world
+// to completion (deterministic in (seed, piconet), so no spill log is
+// needed — a restarted agent re-runs past the sink's resume cursor and
+// regenerates byte-identical partials) and ships one fold partial per
+// piconet to the district sink as a kind-8 frame, stop-and-wait under
+// cumulative acks. The range that starts at piconet 0 additionally runs the
+// bridge overlay and ships its pre-merged rollup partial last. The topology
+// flags (-piconets -bridges -topology -redundancy -hold -probe-sample) must
+// match the sink's district declaration exactly; a mismatch is a fatal
+// typed reject. The fault-injection knobs apply to kind-8 frames too.
+//
+//	-scatternet          run a scatternet district shard
+//	-piconet-range A:B   piconet range [A, B) this agent owns (required)
+//	-piconets P          scatternet piconet count (default 2)
+//	-bridges K           bridge count / random edge budget (default 1)
+//	-topology T          ring, star, mesh, random; empty = legacy ring
+//	-redundancy K        bridges per span (default 1)
+//	-hold S              bridge residency seconds per visit (default 10)
+//	-probe-sample F      relay-probe pair sampling fraction in (0, 1]
 package main
 
 import (
@@ -86,10 +108,21 @@ func main() {
 	delay := flag.Duration("delay", 0, "fault injection: delay imposed on a delay decision")
 	delayRate := flag.Float64("delay-rate", 0, "fault injection: delay probability per data frame")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault injection decision seed")
+	scat := flag.Bool("scatternet", false, "run a scatternet district shard")
+	piconetRange := flag.String("piconet-range", "", "piconet range A:B owned by this shard (with -scatternet)")
+	piconets := flag.Int("piconets", 2, "scatternet piconet count (with -scatternet)")
+	bridges := flag.Int("bridges", 1, "scatternet bridge count / random edge budget (with -scatternet)")
+	topology := flag.String("topology", "", "scatternet membership map: ring, star, mesh or random (with -scatternet)")
+	redundancy := flag.Int("redundancy", 1, "bridges per span (with -scatternet)")
+	hold := flag.Int("hold", 10, "bridge residency seconds per piconet visit (with -scatternet)")
+	probeSample := flag.Float64("probe-sample", 1, "relay-probe pair sampling fraction in (0, 1] (with -scatternet)")
 	flag.Parse()
 
 	if *days < 1 || *days > 540 {
 		fatal(fmt.Errorf("-days %d out of range 1..540", *days))
+	}
+	if *scenario < 1 || *scenario > 4 {
+		fatal(fmt.Errorf("-scenario %d out of range 1..4", *scenario))
 	}
 	if *flush < 1 {
 		fatal(fmt.Errorf("-flush %d must be at least one virtual second", *flush))
@@ -99,6 +132,25 @@ func main() {
 		fatal(err)
 	}
 	duration := sim.Time(*days) * sim.Day
+	fault := collector.FaultConfig{
+		Seed: *faultSeed, Drop: *drop, Duplicate: *dup, Reorder: *reorder,
+		Delay: *delay, DelayRate: *delayRate,
+	}
+
+	if *scat {
+		if *spillDir != "" {
+			fatal(fmt.Errorf("-spill-dir is the flat agent's WAL; scatternet shards need none " +
+				"(piconet worlds are deterministic and re-run past the sink's resume cursor)"))
+		}
+		runScatternetShard(scatShardConfig{
+			sink: *sinkAddr, keyspace: *keyspace, seed: *seed, duration: duration,
+			scenario: btpan.Scenario(*scenario), piconetRange: *piconetRange,
+			piconets: *piconets, bridges: *bridges, topology: *topology,
+			redundancy: *redundancy, hold: sim.Time(*hold) * sim.Second,
+			probeSample: *probeSample, fault: fault,
+		})
+		return
+	}
 
 	randomOpts, realisticOpts := testbed.CampaignOptions(*seed, btpan.Scenario(*scenario), duration)
 	var opts testbed.Options
@@ -131,10 +183,7 @@ func main() {
 		Testbed: opts.Name, Nodes: nodes, Codec: codec,
 		SpillDir: *spillDir, SpillBudget: *spillBudget,
 		RetrySeed: *seed ^ jitter.Sum64(),
-		Fault: collector.FaultConfig{
-			Seed: *faultSeed, Drop: *drop, Duplicate: *dup, Reorder: *reorder,
-			Delay: *delay, DelayRate: *delayRate,
-		},
+		Fault:     fault,
 	})
 	if err != nil {
 		fatal(err)
@@ -177,6 +226,95 @@ func runShard(tb *testbed.Testbed, agent *collector.Agent, duration, flush sim.T
 	tb.Run(duration)
 	tb.FinishStream(agent)
 	return nil
+}
+
+// scatShardConfig bundles the scatternet-mode command line.
+type scatShardConfig struct {
+	sink, keyspace string
+	seed           uint64
+	duration       sim.Time
+	scenario       btpan.Scenario
+	piconetRange   string
+	piconets       int
+	bridges        int
+	topology       string
+	redundancy     int
+	hold           sim.Time
+	probeSample    float64
+	fault          collector.FaultConfig
+}
+
+// parsePiconetRange parses "A:B" into the half-open range [A, B).
+func parsePiconetRange(s string) (lo, hi int, err error) {
+	if s == "" {
+		return 0, 0, fmt.Errorf("-piconet-range is required with -scatternet (e.g. 0:4)")
+	}
+	if _, err := fmt.Sscanf(s, "%d:%d", &lo, &hi); err != nil {
+		return 0, 0, fmt.Errorf("-piconet-range %q: want A:B (half-open, e.g. 0:4)", s)
+	}
+	if lo < 0 || hi <= lo {
+		return 0, 0, fmt.Errorf("-piconet-range %q is empty or negative", s)
+	}
+	return lo, hi, nil
+}
+
+// runScatternetShard runs one district shard of a distributed metro
+// campaign: builds the full campaign engine (so every piconet world derives
+// from the same seeds as the single-process run), then walks the owned
+// range through collector.RunScatterAgent, which ships each finished
+// piconet's fold partial — and, on the range owning piconet 0 of a bridged
+// campaign, the overlay's pre-merged rollup partial — to the district sink.
+func runScatternetShard(cfg scatShardConfig) {
+	lo, hi, err := parsePiconetRange(cfg.piconetRange)
+	if err != nil {
+		fatal(err)
+	}
+	scfg := btpan.ScatternetConfig{
+		CampaignConfig: btpan.CampaignConfig{
+			Seed: cfg.seed, Duration: cfg.duration, Scenario: cfg.scenario,
+			Streaming: true,
+		},
+		Piconets: cfg.piconets, Bridges: cfg.bridges,
+		Topology: cfg.topology, Redundancy: cfg.redundancy, HoldTime: cfg.hold,
+		ProbeSample: cfg.probeSample, Rollup: true,
+	}
+	camp, err := btpan.NewScatternetCampaign(scfg)
+	if err != nil {
+		fatal(err)
+	}
+	if hi > camp.Piconets() {
+		fatal(fmt.Errorf("-piconet-range %s outside the campaign's [0:%d)", cfg.piconetRange, camp.Piconets()))
+	}
+	// The overlay rides with the range owning piconet 0 — the convention
+	// both the district sink and the merge tier enforce.
+	overlay := lo == 0 && camp.BridgeCount() > 0
+	net := collector.ScatterNet{
+		Piconets: camp.Piconets(), Bridges: camp.BridgeCount(),
+		Topology: cfg.topology, Redundancy: cfg.redundancy,
+		Hold: cfg.hold, ProbeSample: cfg.probeSample,
+	}
+	// Decorrelate the reconnection jitter of this campaign's shards: same
+	// campaign seed, different range, different backoff schedule.
+	jitter := fnv.New64a()
+	fmt.Fprintf(jitter, "%d:%d", lo, hi)
+	fmt.Fprintf(os.Stderr, "btagent: running scatternet shard [%d:%d) of %d piconets (seed %d, %v, scenario %q, overlay %v) -> %s\n",
+		lo, hi, camp.Piconets(), cfg.seed, cfg.duration, cfg.scenario, overlay, cfg.sink)
+	start := time.Now()
+	err = collector.RunScatterAgent(collector.ScatterAgentConfig{
+		Addr: cfg.sink, Keyspace: cfg.keyspace,
+		Campaign: collector.CampaignID{Seed: cfg.seed, Duration: cfg.duration,
+			Scenario: int(cfg.scenario)},
+		Net: net, Lo: lo, Hi: hi, Overlay: overlay,
+		RunPiconet: camp.PiconetPartial,
+		RunOverlay: camp.RunOverlay,
+		RetrySeed:  int64(cfg.seed ^ jitter.Sum64()),
+		Fault:      cfg.fault,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "btagent: scatternet shard [%d:%d) complete in %v\n",
+		lo, hi, time.Since(start).Round(time.Millisecond))
 }
 
 // fatal prints the error and exits non-zero.

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParsePiconetRange pins the -piconet-range grammar: half-open A:B with
+// A >= 0 and B > A; everything else is rejected with a message naming the
+// flag.
+func TestParsePiconetRange(t *testing.T) {
+	cases := []struct {
+		in      string
+		lo, hi  int
+		wantErr string // "" = must parse
+	}{
+		{in: "0:4", lo: 0, hi: 4},
+		{in: "2:3", lo: 2, hi: 3},
+		{in: "10:64", lo: 10, hi: 64},
+		{in: "", wantErr: "-piconet-range is required"},
+		{in: "4", wantErr: "want A:B"},
+		{in: "a:b", wantErr: "want A:B"},
+		{in: "4:2", wantErr: "is empty or negative"},
+		{in: "3:3", wantErr: "is empty or negative"},
+		{in: "-1:2", wantErr: "is empty or negative"},
+	}
+	for _, tc := range cases {
+		lo, hi, err := parsePiconetRange(tc.in)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("parsePiconetRange(%q) = %v, want [%d:%d)", tc.in, err, tc.lo, tc.hi)
+			} else if lo != tc.lo || hi != tc.hi {
+				t.Errorf("parsePiconetRange(%q) = [%d:%d), want [%d:%d)", tc.in, lo, hi, tc.lo, tc.hi)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("parsePiconetRange(%q) = [%d:%d), want error containing %q", tc.in, lo, hi, tc.wantErr)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("parsePiconetRange(%q) = %q, want error containing %q", tc.in, err, tc.wantErr)
+		}
+	}
+}

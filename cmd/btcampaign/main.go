@@ -93,6 +93,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"time"
@@ -106,82 +107,148 @@ import (
 	"repro/internal/testbed"
 )
 
-func main() {
-	seed := flag.Uint64("seed", 1, "campaign seed (sweeps use seed..seed+seeds-1)")
-	days := flag.Int("days", 4, "virtual campaign days (1..540; 30+ is month scale)")
-	scenario := flag.Int("scenario", int(btpan.ScenarioSIRAs),
+// cliConfig is the parsed and validated command line.
+type cliConfig struct {
+	seed     uint64
+	duration sim.Time
+	scenario btpan.Scenario
+	out      string
+	codec    collector.Codec
+	stream   bool
+	seeds    int
+	workers  int
+	jsonOut  string
+	ckptDir  string
+	scat     bool
+	topo     scatTopology
+}
+
+// scatOnlyFlags are meaningful only with -scatternet; setting one on a flat
+// campaign is a configuration error (the flag would be silently ignored,
+// and a silently ignored -probe-sample or -rollup is exactly the kind of
+// misconfiguration that produces a report nobody meant to run).
+var scatOnlyFlags = map[string]bool{
+	"probe-sample": true, "rollup": true, "hold": true, "piconets": true,
+	"bridges": true, "topology": true, "redundancy": true,
+}
+
+// parseCLI parses and cross-validates the command line. Every validation
+// returns an error instead of exiting so the table-driven CLI tests can
+// exercise it directly.
+func parseCLI(args []string) (*cliConfig, error) {
+	fs := flag.NewFlagSet("btcampaign", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "campaign seed (sweeps use seed..seed+seeds-1)")
+	days := fs.Int("days", 4, "virtual campaign days (1..540; 30+ is month scale)")
+	scenario := fs.Int("scenario", int(btpan.ScenarioSIRAs),
 		"recovery scenario: 1=reboot only, 2=app restart+reboot, 3=SIRAs, 4=SIRAs+masking")
-	out := flag.String("out", "campaign-data", "output directory (single-seed retained mode)")
-	codecName := flag.String("codec", "binary", "collection wire codec: binary or json")
-	stream := flag.Bool("stream", false, "streaming aggregation: fold records instead of retaining them")
-	seeds := flag.Int("seeds", 1, "number of sweep seeds (>1 enables sweep mode with 95% CIs)")
-	workers := flag.Int("workers", 0, "sweep worker pool size (0 = NumCPU/2)")
-	jsonOut := flag.String("json", "", "sweep mode: also write the CI tables as JSON to this file")
-	ckptDir := flag.String("checkpoint-dir", "", "sweep mode: per-seed checkpoint directory (interrupted sweeps resume)")
-	scat := flag.Bool("scatternet", false, "run a multi-piconet scatternet campaign")
-	piconets := flag.Int("piconets", 2, "scatternet piconet count (with -scatternet)")
-	bridges := flag.Int("bridges", 1, "scatternet bridge count: legacy ring pairing / random edge budget (with -scatternet)")
-	topology := flag.String("topology", "", "scatternet membership map: ring, star, mesh or random (empty = legacy -bridges ring)")
-	redundancy := flag.Int("redundancy", 1, "bridges per span; >= 2 forms redundancy groups (with -scatternet)")
-	hold := flag.Int("hold", 10, "bridge residency seconds per piconet visit (with -scatternet)")
-	shards := flag.Int("shards", 0, "scatternet piconet-plane worker shards (0 = GOMAXPROCS; results identical for any value)")
-	probeSample := flag.Float64("probe-sample", 1, "relay-probe pair sampling fraction in (0, 1]; 1 = exhaustive")
-	rollup := flag.Bool("rollup", false, "scatternet streaming mode: one hierarchical metro-wide report, memory flat in -piconets")
-	flag.Parse()
+	out := fs.String("out", "campaign-data", "output directory (single-seed retained mode)")
+	codecName := fs.String("codec", "binary", "collection wire codec: binary or json")
+	stream := fs.Bool("stream", false, "streaming aggregation: fold records instead of retaining them")
+	seeds := fs.Int("seeds", 1, "number of sweep seeds (>1 enables sweep mode with 95% CIs)")
+	workers := fs.Int("workers", 0, "sweep worker pool size (0 = NumCPU/2)")
+	jsonOut := fs.String("json", "", "sweep mode: also write the CI tables as JSON to this file")
+	ckptDir := fs.String("checkpoint-dir", "", "sweep mode: per-seed checkpoint directory (interrupted sweeps resume)")
+	scat := fs.Bool("scatternet", false, "run a multi-piconet scatternet campaign")
+	piconets := fs.Int("piconets", 2, "scatternet piconet count (with -scatternet)")
+	bridges := fs.Int("bridges", 1, "scatternet bridge count: legacy ring pairing / random edge budget (with -scatternet)")
+	topology := fs.String("topology", "", "scatternet membership map: ring, star, mesh or random (empty = legacy -bridges ring)")
+	redundancy := fs.Int("redundancy", 1, "bridges per span; >= 2 forms redundancy groups (with -scatternet)")
+	hold := fs.Int("hold", 10, "bridge residency seconds per piconet visit (with -scatternet)")
+	shards := fs.Int("shards", 0, "scatternet piconet-plane worker shards (0 = GOMAXPROCS; results identical for any value)")
+	probeSample := fs.Float64("probe-sample", 1, "relay-probe pair sampling fraction in (0, 1]; 1 = exhaustive")
+	rollup := fs.Bool("rollup", false, "scatternet streaming mode: one hierarchical metro-wide report, memory flat in -piconets")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
 
 	if *days < 1 || *days > 540 {
-		fatal(fmt.Errorf("-days %d out of range 1..540 (the paper's campaign was 540 days)", *days))
+		return nil, fmt.Errorf("-days %d out of range 1..540 (the paper's campaign was 540 days)", *days)
+	}
+	if *scenario < 1 || *scenario > 4 {
+		return nil, fmt.Errorf("-scenario %d out of range 1..4", *scenario)
 	}
 	codec, err := collector.ParseCodec(*codecName)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
-	duration := sim.Time(*days) * sim.Day
-	holdTime := sim.Time(*hold) * sim.Second
-
-	if *scat {
-		if *jsonOut != "" || *ckptDir != "" {
-			fatal(fmt.Errorf("-json and -checkpoint-dir support classic sweeps only, not -scatternet"))
-		}
-		topo := scatTopology{piconets: *piconets, bridges: *bridges,
-			name: *topology, redundancy: *redundancy, hold: holdTime,
-			shards: *shards, probeSample: *probeSample, rollup: *rollup}
-		if *seeds > 1 {
-			if *rollup {
-				fatal(fmt.Errorf("-rollup is a single-campaign report; sweeps aggregate across seeds already"))
+	if !*scat {
+		var stray string
+		fs.Visit(func(f *flag.Flag) {
+			if stray == "" && scatOnlyFlags[f.Name] {
+				stray = f.Name
 			}
-			runScatternetSweep(*seed, *seeds, duration, btpan.Scenario(*scenario), *workers, topo)
-			return
+		})
+		if stray != "" {
+			return nil, fmt.Errorf("-%s needs -scatternet (it configures the scatternet plane)", stray)
 		}
-		if *rollup && !*stream {
-			fatal(fmt.Errorf("-rollup requires -stream (the roll-up folds streaming aggregates)"))
+	} else {
+		switch {
+		case math.IsNaN(*probeSample):
+			return nil, fmt.Errorf("-probe-sample is NaN; want a fraction in (0, 1] (1 = exhaustive)")
+		case *probeSample <= 0 || *probeSample > 1:
+			return nil, fmt.Errorf("-probe-sample %v outside (0, 1] (1 = exhaustive)", *probeSample)
 		}
-		runScatternet(*seed, duration, btpan.Scenario(*scenario), topo, *stream)
-		return
+		if *jsonOut != "" || *ckptDir != "" {
+			return nil, fmt.Errorf("-json and -checkpoint-dir support classic sweeps only, not -scatternet")
+		}
+		if *seeds > 1 && *rollup {
+			return nil, fmt.Errorf("-rollup is a single-campaign report; sweeps aggregate across seeds already")
+		}
+		if *seeds <= 1 && *rollup && !*stream {
+			return nil, fmt.Errorf("-rollup requires -stream (the roll-up folds streaming aggregates)")
+		}
+	}
+	if !*scat && *seeds <= 1 && (*jsonOut != "" || *ckptDir != "") {
+		return nil, fmt.Errorf("-json and -checkpoint-dir need sweep mode (-seeds > 1)")
 	}
 
-	if *seeds > 1 {
-		runSweep(*seed, *seeds, duration, btpan.Scenario(*scenario), *workers, *jsonOut, *ckptDir)
-		return
-	}
-	if *jsonOut != "" || *ckptDir != "" {
-		fatal(fmt.Errorf("-json and -checkpoint-dir need sweep mode (-seeds > 1)"))
-	}
+	return &cliConfig{
+		seed: *seed, duration: sim.Time(*days) * sim.Day,
+		scenario: btpan.Scenario(*scenario),
+		out:      *out, codec: codec, stream: *stream,
+		seeds: *seeds, workers: *workers, jsonOut: *jsonOut, ckptDir: *ckptDir,
+		scat: *scat,
+		topo: scatTopology{piconets: *piconets, bridges: *bridges,
+			name: *topology, redundancy: *redundancy,
+			hold:   sim.Time(*hold) * sim.Second,
+			shards: *shards, probeSample: *probeSample, rollup: *rollup},
+	}, nil
+}
 
-	cfg := btpan.CampaignConfig{
-		Seed:      *seed,
-		Duration:  duration,
-		Scenario:  btpan.Scenario(*scenario),
-		Streaming: *stream,
-	}
-	fmt.Printf("running %v campaign (scenario %q, seed %d, %s)...\n",
-		cfg.Duration, cfg.Scenario, cfg.Seed, mode(*stream))
-	res, err := btpan.RunCampaign(cfg)
+func main() {
+	cfg, err := parseCLI(os.Args[1:])
 	if err != nil {
 		fatal(err)
 	}
 
-	if *stream {
+	if cfg.scat {
+		if cfg.seeds > 1 {
+			runScatternetSweep(cfg.seed, cfg.seeds, cfg.duration, cfg.scenario, cfg.workers, cfg.topo)
+			return
+		}
+		runScatternet(cfg.seed, cfg.duration, cfg.scenario, cfg.topo, cfg.stream)
+		return
+	}
+
+	if cfg.seeds > 1 {
+		runSweep(cfg.seed, cfg.seeds, cfg.duration, cfg.scenario, cfg.workers, cfg.jsonOut, cfg.ckptDir)
+		return
+	}
+
+	campaign := btpan.CampaignConfig{
+		Seed:      cfg.seed,
+		Duration:  cfg.duration,
+		Scenario:  cfg.scenario,
+		Streaming: cfg.stream,
+	}
+	fmt.Printf("running %v campaign (scenario %q, seed %d, %s)...\n",
+		campaign.Duration, campaign.Scenario, campaign.Seed, mode(cfg.stream))
+	res, err := btpan.RunCampaign(campaign)
+	if err != nil {
+		fatal(err)
+	}
+
+	if cfg.stream {
 		// Records were folded as they streamed off the nodes; print the
 		// canonical streaming report straight from the aggregates. The
 		// format is shared with btsink (btpan.WriteReport) so a distributed
@@ -192,7 +259,7 @@ func main() {
 	u, s, tot := res.DataItems()
 	fmt.Printf("collected %d user reports + %d system entries = %d items\n", u, s, tot)
 
-	shipAndPersist(res, codec, *out)
+	shipAndPersist(res, cfg.codec, cfg.out)
 	d := res.Dependability()
 	fmt.Printf("MTTF %.2f s, MTTR %.2f s, availability %.3f, coverage %.1f%%\n",
 		d.MTTF, d.MTTR, d.Availability, d.CoveragePct)

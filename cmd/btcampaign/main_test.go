@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The CLI validation table: every rejected command line names the offending
+// flag and every accepted one parses cleanly — these pin the bugfix sweep
+// (probe-sample domain checks at the flag boundary, scatternet-only flags
+// rejected on flat campaigns, rollup/sweep cross-checks).
+func TestParseCLIValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // "" = must parse
+	}{
+		{"defaults", nil, ""},
+		{"flat stream", []string{"-stream", "-days", "2"}, ""},
+		{"days low", []string{"-days", "0"}, "-days 0 out of range"},
+		{"days high", []string{"-days", "541"}, "-days 541 out of range"},
+		{"scenario low", []string{"-scenario", "0"}, "-scenario 0 out of range 1..4"},
+		{"scenario high", []string{"-scenario", "5"}, "-scenario 5 out of range 1..4"},
+		{"bad codec", []string{"-codec", "xml"}, "xml"},
+
+		// Bugfix 1: -probe-sample domain validation at the flag boundary.
+		{"probe-sample zero", []string{"-scatternet", "-probe-sample", "0"},
+			"-probe-sample 0 outside (0, 1]"},
+		{"probe-sample negative", []string{"-scatternet", "-probe-sample", "-1"},
+			"-probe-sample -1 outside (0, 1]"},
+		{"probe-sample above one", []string{"-scatternet", "-probe-sample", "1.5"},
+			"-probe-sample 1.5 outside (0, 1]"},
+		{"probe-sample NaN", []string{"-scatternet", "-probe-sample", "NaN"},
+			"-probe-sample is NaN"},
+		{"probe-sample valid", []string{"-scatternet", "-probe-sample", "0.25"}, ""},
+		{"probe-sample exhaustive", []string{"-scatternet", "-probe-sample", "1"}, ""},
+
+		// Bugfix 3: scatternet-only flags on a flat campaign are errors, not
+		// silently ignored knobs.
+		{"stray probe-sample", []string{"-probe-sample", "0.5"},
+			"-probe-sample needs -scatternet"},
+		{"stray rollup", []string{"-rollup", "-stream"},
+			"-rollup needs -scatternet"},
+		{"stray hold", []string{"-hold", "20"}, "-hold needs -scatternet"},
+		{"stray piconets", []string{"-piconets", "8"}, "-piconets needs -scatternet"},
+		{"stray bridges", []string{"-bridges", "4"}, "-bridges needs -scatternet"},
+		{"stray topology", []string{"-topology", "ring"}, "-topology needs -scatternet"},
+		{"stray redundancy", []string{"-redundancy", "2"}, "-redundancy needs -scatternet"},
+
+		// Rollup cross-checks at the flag boundary.
+		{"rollup sweep", []string{"-scatternet", "-rollup", "-stream", "-seeds", "3"},
+			"-rollup is a single-campaign report"},
+		{"rollup without stream", []string{"-scatternet", "-rollup"},
+			"-rollup requires -stream"},
+		{"rollup ok", []string{"-scatternet", "-rollup", "-stream"}, ""},
+
+		{"scatternet sweep json", []string{"-scatternet", "-seeds", "3", "-json", "x.json"},
+			"-json and -checkpoint-dir support classic sweeps only"},
+		{"json without sweep", []string{"-json", "x.json"},
+			"-json and -checkpoint-dir need sweep mode"},
+		{"scatternet topology ok",
+			[]string{"-scatternet", "-topology", "ring", "-piconets", "6", "-stream"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := parseCLI(tc.args)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("parseCLI(%q) = %v, want success", tc.args, err)
+				}
+				if cfg == nil {
+					t.Fatalf("parseCLI(%q) returned nil config", tc.args)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("parseCLI(%q) accepted, want error containing %q", tc.args, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("parseCLI(%q) = %q, want error containing %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}

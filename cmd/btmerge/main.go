@@ -11,7 +11,17 @@
 // come out exactly as an unsharded run computes them (the merge laws are
 // pinned by the analysis and collector test suites). The partials must
 // disjointly cover the campaign's testbeds and agree on the campaign
-// identity, or the merge fails loudly.
+// identity, or the merge fails loudly. Data loss (sequence gaps, dropped
+// records) fails the merge BEFORE any report is printed — a report implying
+// completeness must never precede the verdict that the data is incomplete.
+//
+// With -scatternet the inputs are instead the district partials exported by
+// btsink -district keyspaces (DIR/<key>.district.json): the merge validates
+// campaign and scatternet agreement and exact disjoint coverage of the
+// piconet space, re-interleaves the deployment trace by total (time,
+// piconet, seq) order, and prints the hierarchical metro report
+// byte-identical to `btcampaign -scatternet -rollup -stream` at the same
+// seed (modulo the campaign banner line).
 //
 // Usage:
 //
@@ -22,6 +32,7 @@
 //	-seed N          campaign seed (default 1); must match the partials'
 //	-days D          virtual campaign days 1..540 (default 4); must match
 //	-scenario 1..4   recovery regime (default 3); must match the partials'
+//	-scatternet      merge scatternet district partials into the metro report
 package main
 
 import (
@@ -36,18 +47,36 @@ import (
 	"repro/internal/testbed"
 )
 
-func main() {
-	seed := flag.Uint64("seed", 1, "campaign seed (must match the partials)")
-	days := flag.Int("days", 4, "virtual campaign days 1..540 (must match the partials)")
-	scenario := flag.Int("scenario", int(btpan.ScenarioSIRAs),
+// cliConfig is the parsed, cross-validated command line.
+type cliConfig struct {
+	cfg      btpan.CampaignConfig
+	campaign collector.CampaignID
+	scat     bool
+	paths    []string
+}
+
+// parseCLI parses and validates the command line. Every validation returns
+// an error instead of exiting so the table-driven CLI tests can exercise it
+// directly.
+func parseCLI(args []string) (*cliConfig, error) {
+	fs := flag.NewFlagSet("btmerge", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "campaign seed (must match the partials)")
+	days := fs.Int("days", 4, "virtual campaign days 1..540 (must match the partials)")
+	scenario := fs.Int("scenario", int(btpan.ScenarioSIRAs),
 		"recovery scenario 1..4 (must match the partials)")
-	flag.Parse()
+	scat := fs.Bool("scatternet", false, "merge scatternet district partials into the metro report")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
 
 	if *days < 1 || *days > 540 {
-		fatal(fmt.Errorf("-days %d out of range 1..540", *days))
+		return nil, fmt.Errorf("-days %d out of range 1..540", *days)
 	}
-	if flag.NArg() == 0 {
-		fatal(fmt.Errorf("no partial files given (usage: btmerge [flags] PARTIAL.json...)"))
+	if *scenario < 1 || *scenario > 4 {
+		return nil, fmt.Errorf("-scenario %d out of range 1..4", *scenario)
+	}
+	if fs.NArg() == 0 {
+		return nil, fmt.Errorf("no partial files given (usage: btmerge [flags] PARTIAL.json...)")
 	}
 	cfg := btpan.CampaignConfig{
 		Seed:      *seed,
@@ -56,12 +85,30 @@ func main() {
 		Streaming: true,
 	}
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &cliConfig{
+		cfg:      cfg,
+		campaign: collector.CampaignID{Seed: *seed, Duration: cfg.Duration, Scenario: *scenario},
+		scat:     *scat,
+		paths:    fs.Args(),
+	}, nil
+}
+
+func main() {
+	cli, err := parseCLI(os.Args[1:])
+	if err != nil {
 		fatal(err)
 	}
-	campaign := collector.CampaignID{Seed: *seed, Duration: cfg.Duration, Scenario: *scenario}
+	cfg, campaign := cli.cfg, cli.campaign
 
-	parts := make([]*collector.Partial, 0, flag.NArg())
-	for _, path := range flag.Args() {
+	if cli.scat {
+		mergeDistricts(campaign, cli.paths)
+		return
+	}
+
+	parts := make([]*collector.Partial, 0, len(cli.paths))
+	for _, path := range cli.paths {
 		// Partials are trailer-guarded durable writes; a partial torn by a
 		// sink crash mid-export is rejected here rather than half-merged.
 		blob, err := collector.ReadFileDurable(path)
@@ -76,7 +123,7 @@ func main() {
 			fatal(fmt.Errorf("%s: partial is from campaign seed %d, %v, scenario %d "+
 				"(flags say seed %d, %v, scenario %d)", path,
 				p.Campaign.Seed, p.Campaign.Duration, p.Campaign.Scenario,
-				*seed, cfg.Duration, *scenario))
+				campaign.Seed, campaign.Duration, campaign.Scenario))
 		}
 		parts = append(parts, &p)
 	}
@@ -85,14 +132,58 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Loss is checked BEFORE the report is written: a merge that detected
+	// sequence gaps or dropped records must not emit a report that looks
+	// complete to anything consuming stdout.
+	if rep.Agg.SeqGaps > 0 || rep.Agg.DroppedRecords > 0 {
+		fatal(fmt.Errorf("data loss: %d sequence gaps, %d dropped records",
+			rep.Agg.SeqGaps, rep.Agg.DroppedRecords))
+	}
 	res, err := btpan.ResultFromAggregates(cfg, rep.Agg, rep.Counters, rep.Durations)
 	if err != nil {
 		fatal(err)
 	}
 	btpan.WriteReport(os.Stdout, res)
-	if rep.Agg.SeqGaps > 0 || rep.Agg.DroppedRecords > 0 {
+}
+
+// mergeDistricts folds scatternet district partials into the metro rollup
+// and prints it exactly as `btcampaign -scatternet -rollup -stream` does
+// (sans the banner line).
+func mergeDistricts(campaign collector.CampaignID, paths []string) {
+	parts := make([]*collector.DistrictPartial, 0, len(paths))
+	for _, path := range paths {
+		blob, err := collector.ReadFileDurable(path)
+		if err != nil {
+			fatal(err)
+		}
+		var p collector.DistrictPartial
+		if err := json.Unmarshal(blob, &p); err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		if p.Campaign != campaign {
+			fatal(fmt.Errorf("%s: district partial is from campaign seed %d, %v, scenario %d "+
+				"(flags say seed %d, %v, scenario %d)", path,
+				p.Campaign.Seed, p.Campaign.Duration, p.Campaign.Scenario,
+				campaign.Seed, campaign.Duration, campaign.Scenario))
+		}
+		parts = append(parts, &p)
+	}
+	roll, redundancy, err := collector.MergeDistricts(parts)
+	if err != nil {
+		fatal(err)
+	}
+	// Loss-before-report, metro edition: the fold carries the piconets'
+	// summed transport counters through the exact aggregate merge.
+	if roll.Agg.SeqGaps > 0 || roll.Agg.DroppedRecords > 0 {
 		fatal(fmt.Errorf("data loss: %d sequence gaps, %d dropped records",
-			rep.Agg.SeqGaps, rep.Agg.DroppedRecords))
+			roll.Agg.SeqGaps, roll.Agg.DroppedRecords))
+	}
+	fmt.Printf("\n%s", roll.Render())
+	// The redundancy table exists exactly when the campaign had bridges —
+	// the same condition btcampaign's rollup printer uses.
+	if redundancy != nil {
+		fmt.Printf("\nRedundancy groups (outage charged only when a whole span is down)\n%s",
+			redundancy.Render())
 	}
 }
 

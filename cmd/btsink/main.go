@@ -68,6 +68,28 @@
 //	                     /metricsz, /campaigns, live tables) on ADDR
 //	-memory-budget N     delay acks while more than N records are buffered
 //	                     across all keyspaces (0 = no backpressure)
+//
+// Scatternet district flags (the distributed metro plane):
+//
+//	-district SPEC       host one scatternet district keyspace (repeatable).
+//	                     Agents in -scatternet mode ship per-piconet fold
+//	                     partials into it; the district checkpoints its
+//	                     running fold after every applied partial
+//	                     (-checkpoint-dir, at DIR/<key>.district.ckpt) and on
+//	                     completion exports DIR/<key>.district.json under
+//	                     -partial-dir — the input of `btmerge -scatternet`.
+//	                     SPEC is comma-separated key=value pairs:
+//	                       key=K            keyspace name (required)
+//	                       seed=N           campaign seed (required)
+//	                       range=A:B        piconet range [A, B) (required)
+//	                       days=D           virtual days 1..540 (default 4)
+//	                       scenario=1..4    recovery regime (default 3)
+//	                       piconets=P       scatternet piconet count (default 2)
+//	                       bridges=K        bridge count / edge budget (default 1)
+//	                       topology=T       ring, star, mesh, random (default "")
+//	                       redundancy=K     bridges per span (default 1)
+//	                       hold=S           bridge residency seconds (default 10)
+//	                       probe-sample=F   probe pair fraction in (0, 1]
 package main
 
 import (
@@ -159,6 +181,133 @@ func (c *campaignFlags) Set(v string) error {
 	return nil
 }
 
+// districtFlag is one parsed -district SPEC.
+type districtFlag struct {
+	key         string
+	seed        uint64
+	days        int
+	scenario    int
+	lo, hi      int
+	piconets    int
+	bridges     int
+	topology    string
+	redundancy  int
+	hold        int
+	probeSample float64
+}
+
+// districtFlags collects repeated -district values.
+type districtFlags []districtFlag
+
+// String renders the accumulated specs (flag.Value).
+func (d *districtFlags) String() string {
+	var parts []string
+	for _, df := range *d {
+		parts = append(parts, df.key)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set parses one -district SPEC (flag.Value).
+func (d *districtFlags) Set(v string) error {
+	df := districtFlag{days: 4, scenario: int(btpan.ScenarioSIRAs),
+		piconets: 2, bridges: 1, redundancy: 1, hold: 10, probeSample: 1}
+	seenKey, seenSeed, seenRange := false, false, false
+	for _, pair := range strings.Split(v, ",") {
+		k, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("-district %q: %q is not key=value", v, pair)
+		}
+		var err error
+		switch k {
+		case "key":
+			df.key, seenKey = val, true
+		case "seed":
+			df.seed, err = strconv.ParseUint(val, 10, 64)
+			seenSeed = true
+		case "days":
+			df.days, err = strconv.Atoi(val)
+		case "scenario":
+			df.scenario, err = strconv.Atoi(val)
+		case "range":
+			if _, serr := fmt.Sscanf(val, "%d:%d", &df.lo, &df.hi); serr != nil {
+				err = fmt.Errorf("want A:B (half-open)")
+			}
+			seenRange = true
+		case "piconets":
+			df.piconets, err = strconv.Atoi(val)
+		case "bridges":
+			df.bridges, err = strconv.Atoi(val)
+		case "topology":
+			df.topology = val
+		case "redundancy":
+			df.redundancy, err = strconv.Atoi(val)
+		case "hold":
+			df.hold, err = strconv.Atoi(val)
+		case "probe-sample":
+			df.probeSample, err = strconv.ParseFloat(val, 64)
+		default:
+			return fmt.Errorf("-district %q: unknown field %q", v, k)
+		}
+		if err != nil {
+			return fmt.Errorf("-district %q: field %q: %v", v, k, err)
+		}
+	}
+	if !seenKey || !seenSeed || !seenRange {
+		return fmt.Errorf("-district %q: key=, seed= and range= are required", v)
+	}
+	if df.days < 1 || df.days > 540 {
+		return fmt.Errorf("-district %q: days %d out of range 1..540", v, df.days)
+	}
+	if df.scenario < 1 || df.scenario > 4 {
+		return fmt.Errorf("-district %q: scenario %d out of range 1..4", v, df.scenario)
+	}
+	if df.lo < 0 || df.hi <= df.lo {
+		return fmt.Errorf("-district %q: range [%d:%d) is empty or negative", v, df.lo, df.hi)
+	}
+	*d = append(*d, df)
+	return nil
+}
+
+// config builds the collector district for one parsed spec. The scatternet
+// identity derives from the same campaign-engine validation the agents use,
+// so the effective piconet/bridge counts agree by construction when the
+// flags agree.
+func (df *districtFlag) config(checkpointDir string) (collector.DistrictConfig, error) {
+	duration := sim.Time(df.days) * sim.Day
+	hold := sim.Time(df.hold) * sim.Second
+	camp, err := btpan.NewScatternetCampaign(btpan.ScatternetConfig{
+		CampaignConfig: btpan.CampaignConfig{Seed: df.seed, Duration: duration,
+			Scenario: btpan.Scenario(df.scenario), Streaming: true},
+		Piconets: df.piconets, Bridges: df.bridges,
+		Topology: df.topology, Redundancy: df.redundancy, HoldTime: hold,
+		ProbeSample: df.probeSample, Rollup: true,
+	})
+	if err != nil {
+		return collector.DistrictConfig{}, fmt.Errorf("district %q: %w", df.key, err)
+	}
+	if df.hi > camp.Piconets() {
+		return collector.DistrictConfig{}, fmt.Errorf("district %q: range [%d:%d) outside the campaign's [0:%d)",
+			df.key, df.lo, df.hi, camp.Piconets())
+	}
+	dc := collector.DistrictConfig{
+		Key: df.key,
+		Campaign: collector.CampaignID{Seed: df.seed, Duration: duration,
+			Scenario: df.scenario},
+		Net: collector.ScatterNet{
+			Piconets: camp.Piconets(), Bridges: camp.BridgeCount(),
+			Topology: df.topology, Redundancy: df.redundancy,
+			Hold: hold, ProbeSample: df.probeSample,
+		},
+		ScenarioName: camp.ScenarioName(),
+		Lo:           df.lo, Hi: df.hi,
+	}
+	if checkpointDir != "" {
+		dc.CheckpointPath = filepath.Join(checkpointDir, df.key+".district.ckpt")
+	}
+	return dc, nil
+}
+
 // keyspace builds the collector keyspace for one parsed campaign.
 func (cf *campaignFlag) keyspace(checkpointDir string) (collector.KeyspaceConfig, error) {
 	spec := testbed.CampaignStreamSpec()
@@ -194,6 +343,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "campaign completion timeout (0 = forever)")
 	var campaigns campaignFlags
 	flag.Var(&campaigns, "campaign", "host one campaign keyspace (repeatable; see package doc)")
+	var districts districtFlags
+	flag.Var(&districts, "district", "host one scatternet district keyspace (repeatable; see package doc)")
 	serve := flag.Bool("serve", false, "always-on service mode (campaigns register over HTTP)")
 	checkpointDir := flag.String("checkpoint-dir", "", "per-keyspace checkpoint directory")
 	partialDir := flag.String("partial-dir", "", "write <key>.partial.json here on keyspace completion")
@@ -202,7 +353,7 @@ func main() {
 	memoryBudget := flag.Int("memory-budget", 0, "buffered record count above which acks are delayed (0 = off)")
 	flag.Parse()
 
-	multi := len(campaigns) > 0 || *serve
+	multi := len(campaigns) > 0 || len(districts) > 0 || *serve
 	if *serve && *httpAddr == "" {
 		fatal(fmt.Errorf("-serve needs -http to accept campaign registrations"))
 	}
@@ -245,6 +396,13 @@ func main() {
 		}
 		cfg.Keyspaces = append(cfg.Keyspaces, ks)
 	}
+	for i := range districts {
+		dc, err := districts[i].config(*checkpointDir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Districts = append(cfg.Districts, dc)
+	}
 
 	sink, err := collector.NewSink(cfg)
 	if err != nil {
@@ -281,13 +439,14 @@ func main() {
 		return
 	}
 
-	fmt.Fprintf(os.Stderr, "btsink: listening on %s (%d campaigns%s)\n",
-		sink.Addr(), len(campaigns), map[bool]string{true: ", serve mode", false: ""}[*serve])
+	fmt.Fprintf(os.Stderr, "btsink: listening on %s (%d campaigns, %d districts%s)\n",
+		sink.Addr(), len(campaigns), len(districts),
+		map[bool]string{true: ", serve mode", false: ""}[*serve])
 
 	// Every configured keyspace gets a completion watcher that exports its
 	// partial (and, for full-campaign keyspaces, its canonical report).
 	var wg sync.WaitGroup
-	failures := make(chan error, len(campaigns))
+	failures := make(chan error, len(campaigns)+len(districts))
 	for _, cf := range campaigns {
 		wg.Add(1)
 		go func(cf campaignFlag) {
@@ -296,6 +455,15 @@ func main() {
 				failures <- fmt.Errorf("campaign %q: %w", cf.key, err)
 			}
 		}(cf)
+	}
+	for _, df := range districts {
+		wg.Add(1)
+		go func(df districtFlag) {
+			defer wg.Done()
+			if err := watchDistrict(sink, df, *partialDir, *timeout); err != nil {
+				failures <- fmt.Errorf("district %q: %w", df.key, err)
+			}
+		}(df)
 	}
 	wg.Wait()
 	close(failures)
@@ -351,6 +519,29 @@ func watchKeyspace(sink *collector.Sink, cf campaignFlag, partialDir, reportDir 
 		}
 		btpan.WriteReport(f, res)
 		return f.Close()
+	}
+	return nil
+}
+
+// watchDistrict waits for one district's piconet range to fold completely
+// and exports its sealed partial — the `btmerge -scatternet` input.
+func watchDistrict(sink *collector.Sink, df districtFlag, partialDir string,
+	timeout time.Duration) error {
+	p, err := sink.WaitDistrict(df.key, timeout)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "btsink: district %q complete (piconets [%d:%d))\n",
+		df.key, p.Lo, p.Hi)
+	if partialDir != "" {
+		blob, err := json.Marshal(p)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(partialDir, df.key+".district.json")
+		if err := collector.WriteFileDurable(path, blob); err != nil {
+			return err
+		}
 	}
 	return nil
 }

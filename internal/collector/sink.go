@@ -54,11 +54,12 @@ type Sink struct {
 	cfg SinkConfig
 	ln  net.Listener
 
-	mu       sync.Mutex
-	tenants  map[string]*tenant
-	conns    map[net.Conn]bool
-	draining bool
-	closed   bool
+	mu        sync.Mutex
+	tenants   map[string]*tenant
+	districts map[string]*district
+	conns     map[net.Conn]bool
+	draining  bool
+	closed    bool
 
 	delayedAcks    int // acks delayed by the memory-budget backpressure
 	hellosRejected int // hello handshakes answered with a Reject
@@ -143,6 +144,11 @@ type SinkConfig struct {
 	// Keyspaces declares the hosted campaigns beyond (or instead of) the
 	// single-campaign shorthand fields.
 	Keyspaces []KeyspaceConfig
+	// Districts declares the hosted scatternet district keyspaces: piconet
+	// ranges of metro campaigns whose agents ship fold partials (protocol
+	// §12) instead of record batches. Districts and flat keyspaces are
+	// independent namespaces; a sink may host both at once.
+	Districts []DistrictConfig
 	// AllowEmpty lets the sink start with no keyspaces at all — the
 	// always-on service mode, where campaigns arrive later via Register.
 	// Without it an empty configuration is a loud error.
@@ -233,9 +239,10 @@ func NewSink(cfg SinkConfig) (*Sink, error) {
 		cfg.BackpressureDelay = 2 * time.Millisecond
 	}
 	s := &Sink{
-		cfg:     cfg,
-		tenants: make(map[string]*tenant),
-		conns:   make(map[net.Conn]bool),
+		cfg:       cfg,
+		tenants:   make(map[string]*tenant),
+		districts: make(map[string]*district),
+		conns:     make(map[net.Conn]bool),
 	}
 	keyspaces := cfg.Keyspaces
 	if len(cfg.Spec.Testbeds) > 0 {
@@ -243,8 +250,18 @@ func NewSink(cfg SinkConfig) (*Sink, error) {
 			Campaign: cfg.Campaign, Spec: cfg.Spec, CheckpointPath: cfg.CheckpointPath,
 		}}, keyspaces...)
 	}
-	if len(keyspaces) == 0 && !cfg.AllowEmpty {
+	if len(keyspaces) == 0 && len(cfg.Districts) == 0 && !cfg.AllowEmpty {
 		return nil, fmt.Errorf("collector: sink declares no keyspaces (set AllowEmpty for the always-on mode)")
+	}
+	for _, dc := range cfg.Districts {
+		d, err := newDistrict(dc)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := s.districts[dc.Key]; dup {
+			return nil, fmt.Errorf("collector: duplicate district keyspace %q", dc.Key)
+		}
+		s.districts[dc.Key] = d
 	}
 	for _, ks := range keyspaces {
 		t, err := s.newTenant(ks)
@@ -263,6 +280,9 @@ func NewSink(cfg SinkConfig) (*Sink, error) {
 	s.ln = ln
 	for _, t := range s.tenants {
 		s.checkCompletion(t) // a checkpoint taken after completion resumes complete
+	}
+	for _, d := range s.districts {
+		s.checkScatterCompletion(d)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -441,6 +461,10 @@ func (s *Sink) serve(conn net.Conn) {
 	}
 	conn.SetReadDeadline(time.Time{})
 	hello := fr.Hello
+	if hello.Scatter != nil {
+		s.serveScatter(conn, hello)
+		return
+	}
 
 	s.mu.Lock()
 	draining := s.draining
@@ -856,6 +880,22 @@ func (s *Sink) Drain() error {
 			}
 		}
 	}
+	for _, d := range s.districts {
+		if d.cfg.CheckpointPath != "" && d.partial == nil {
+			if err := s.districtCheckpointLocked(d); err != nil {
+				d.ckptFails++
+				d.lastCkptErr = err
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		for key, sess := range d.sessions {
+			if !d.finished[key] {
+				sessions = append(sessions, sess)
+			}
+		}
+	}
 	s.mu.Unlock()
 	for _, sess := range sessions {
 		sess.send(frameReject, &Reject{Code: RejectDraining,
@@ -872,6 +912,11 @@ func (s *Sink) Close() error {
 		for _, t := range s.tenants {
 			if t.cfg.CheckpointPath != "" && t.agg == nil {
 				_ = s.checkpointLocked(t)
+			}
+		}
+		for _, d := range s.districts {
+			if d.cfg.CheckpointPath != "" && d.partial == nil {
+				_ = s.districtCheckpointLocked(d)
 			}
 		}
 	}

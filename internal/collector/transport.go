@@ -28,12 +28,13 @@ import (
 // batch), and a debuggable handshake beats saving bytes there — the hot
 // path, record batches, stays on the binary codec.
 const (
-	frameHello  byte = 2
-	frameResume byte = 3
-	frameAck    byte = 4
-	frameDone   byte = 5
-	frameFin    byte = 6
-	frameReject byte = 7
+	frameHello   byte = 2
+	frameResume  byte = 3
+	frameAck     byte = 4
+	frameDone    byte = 5
+	frameFin     byte = 6
+	frameReject  byte = 7
+	frameScatter byte = 8
 )
 
 // FrameKind classifies a decoded frame.
@@ -48,6 +49,7 @@ const (
 	KindDone
 	KindFin
 	KindReject
+	KindScatter
 )
 
 // CampaignID identifies the campaign every process of a deployment must
@@ -72,6 +74,11 @@ type Hello struct {
 	Keyspace string     `json:"keyspace,omitempty"`
 	Testbed  string     `json:"testbed"`
 	Nodes    []string   `json:"nodes"`
+	// Scatter marks the session as a scatternet district shard (protocol
+	// §12): the agent ships piconet fold partials (kind 8) instead of record
+	// batches. Absent on flat-campaign sessions, so v2 sessions interoperate
+	// unchanged.
+	Scatter *ScatterHello `json:"scatternet,omitempty"`
 }
 
 // Typed Reject codes. Configuration errors are fatal — a misconfigured
@@ -177,6 +184,7 @@ type Frame struct {
 	Ack       *Ack
 	Done      *Done
 	Reject    *Reject
+	Scatter   *ScatterBatch
 }
 
 // writeControl frames and writes one control payload (kind byte + JSON).
@@ -271,6 +279,12 @@ func decodeFrame(kind byte, blob []byte) (*Frame, error) {
 			return nil, fmt.Errorf("collector: decode reject: %w", err)
 		}
 		return &Frame{Kind: KindReject, Reject: &rej}, nil
+	case frameScatter:
+		var sb ScatterBatch
+		if err := json.Unmarshal(blob, &sb); err != nil {
+			return nil, fmt.Errorf("collector: decode scatternet partial: %w", err)
+		}
+		return &Frame{Kind: KindScatter, Scatter: &sb}, nil
 	default:
 		return nil, fmt.Errorf("collector: unknown frame kind %d", kind)
 	}

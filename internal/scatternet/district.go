@@ -1,0 +1,81 @@
+package scatternet
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+)
+
+// The distributed metro entry points: a scatternet agent process owns a
+// contiguous piconet range of a campaign (and, by convention, the bridge
+// overlay when its range starts at piconet 0) and streams each finished
+// piconet's fold contribution to a district sink. Piconet worlds are fully
+// independent and deterministic in (Seed, p), so the agent needs no
+// write-ahead log: a kill -9 restart simply re-runs the piconets past the
+// sink's resume cursor and regenerates byte-identical partials.
+
+// PiconetPartial builds, runs and snapshots piconet p alone — one shard
+// iteration of runShard, detached from the shard loop so a distributed agent
+// can walk its range one piconet at a time and ship each result as it
+// finishes. Requires Rollup mode (the partial carries the depend trace the
+// metro fold re-interleaves).
+func (c *Campaign) PiconetPartial(p int) (*analysis.PiconetPartial, error) {
+	if !c.cfg.Rollup {
+		return nil, fmt.Errorf("scatternet: piconet partials need Rollup mode")
+	}
+	if p < 0 || p >= c.topo.Piconets {
+		return nil, fmt.Errorf("scatternet: piconet %d outside [0, %d)", p, c.topo.Piconets)
+	}
+	pic, trace, err := c.runPiconet(p)
+	if err != nil {
+		return nil, err
+	}
+	return &analysis.PiconetPartial{Piconet: p, Agg: pic.Agg.Snapshot(), Trace: trace}, nil
+}
+
+// RunOverlay runs the bridge overlay world for the campaign duration and
+// returns its rollup partial (nil when the campaign has no bridges). The
+// order-sensitive Welford merges happen HERE, where the campaign's fixed
+// orders are known: the all-bridge summary merges the bridge rows in row
+// order and the relay-depth table merges the per-source probe partials in
+// ascending source order — exactly Campaign.rollup's orders, which is what
+// keeps the distributed report byte-identical to the single-process one.
+func (c *Campaign) RunOverlay() (*analysis.OverlayPartial, error) {
+	if !c.cfg.Rollup {
+		return nil, fmt.Errorf("scatternet: overlay partials need Rollup mode")
+	}
+	if c.overlay == nil {
+		return nil, nil
+	}
+	c.overlay.Run(c.cfg.Duration)
+	out := &analysis.OverlayPartial{}
+	if rows := c.overlay.Table().Rows; len(rows) > 0 {
+		sum := analysis.NewBridgeAccum("all", "-", nil)
+		for _, r := range rows {
+			sum.Merge(r)
+		}
+		out.Bridges, out.BridgeCount = sum.Snapshot(), len(rows)
+	}
+	rd := analysis.NewRelayDepthAccum()
+	for _, a := range c.overlay.prober.bySrc {
+		rd.Merge(a)
+	}
+	out.RelayDepth = rd.Snapshot()
+	out.Redundancy = c.overlay.RedundancyTable(c.cfg.Duration).Rows
+	return out, nil
+}
+
+// Piconets reports the campaign's effective piconet count.
+func (c *Campaign) Piconets() int { return c.topo.Piconets }
+
+// BridgeCount reports the campaign's effective bridge count (0 = no overlay).
+func (c *Campaign) BridgeCount() int { return c.topo.Bridges() }
+
+// ScenarioName reports the campaign's recovery-scenario label (the
+// Dependability column name district folds are built with).
+func (c *Campaign) ScenarioName() string { return c.cfg.Scenario.String() }
+
+// ProbeFraction exposes the report normalization of the pair-sampling
+// fraction (0, the unset default, means exhaustive — fraction 1); the
+// distributed merge tier must render with exactly this value.
+func ProbeFraction(f float64) float64 { return probeFraction(f) }

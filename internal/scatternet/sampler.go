@@ -1,6 +1,9 @@
 package scatternet
 
-import "math/rand/v2"
+import (
+	"math"
+	"math/rand/v2"
+)
 
 // The probe-pair sampler: at city scale the relay probe plane is the O(P²)
 // wall — 10³ piconets mean 999,000 ordered pairs, each with its own arrival
@@ -32,7 +35,12 @@ type probePair struct {
 // probability fraction, drawn from a PCG stream seeded by (seed,
 // probeSampleSalt).
 func samplePairs(piconets int, fraction float64, seed uint64) []probePair {
-	exhaustive := fraction <= 0 || fraction >= 1
+	// NaN fails every comparison, so without the explicit test it would fall
+	// through to the RNG branch where rng.Float64() < NaN is always false —
+	// a silently EMPTY probe plane. Config.Validate rejects NaN loudly; this
+	// is defense in depth for direct engine callers, resolving it the same
+	// way as the other out-of-range values.
+	exhaustive := math.IsNaN(fraction) || fraction <= 0 || fraction >= 1
 	var rng *rand.Rand
 	if !exhaustive {
 		rng = rand.New(rand.NewPCG(seed, probeSampleSalt))

@@ -4,6 +4,7 @@ import (
 	"math"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -172,5 +173,26 @@ func TestRouterMatchesRoute(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestSamplePairsNaN pins the NaN regression: a NaN fraction must degenerate
+// to the exhaustive set like every other out-of-domain value — the old
+// comparison chain let NaN slip past both branches and silently probe
+// nothing — and the config layer must refuse NaN loudly before a campaign
+// runs at all.
+func TestSamplePairsNaN(t *testing.T) {
+	want := exhaustivePairs(5)
+	if got := samplePairs(5, math.NaN(), 7); !reflect.DeepEqual(got, want) {
+		t.Errorf("samplePairs(5, NaN, 7) = %v, want the exhaustive set", got)
+	}
+	cfg := Config{Seed: 1, Duration: 3600e9, Scenario: 3, Piconets: 2, Bridges: 1,
+		ProbePairFraction: math.NaN()}
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("Config.Validate accepted a NaN probe pair fraction")
+	}
+	if !strings.Contains(err.Error(), "NaN") {
+		t.Errorf("Validate error %q does not name NaN", err)
 	}
 }

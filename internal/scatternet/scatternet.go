@@ -50,6 +50,7 @@ package scatternet
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -212,6 +213,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("scatternet: non-positive relay queue capacity")
 	case c.FlushEvery < 0:
 		return fmt.Errorf("scatternet: negative streaming flush interval")
+	case math.IsNaN(c.ProbePairFraction):
+		return fmt.Errorf("scatternet: probe pair fraction is NaN (want a fraction in (0, 1]; 1 = exhaustive)")
 	case c.ProbePairFraction < 0 || c.ProbePairFraction > 1:
 		return fmt.Errorf("scatternet: probe pair fraction %v outside [0, 1]", c.ProbePairFraction)
 	case c.Rollup && !c.Streaming:

@@ -182,6 +182,18 @@ type ScatternetResult struct {
 	Rollup *analysis.ScatternetRollup
 }
 
+// NewScatternetCampaign validates the config and builds the underlying
+// campaign engine without running it — the distributed-agent entry point,
+// where a process owns only a piconet slice and drives PiconetPartial /
+// RunOverlay itself instead of Run.
+func NewScatternetCampaign(cfg ScatternetConfig) (*scatternet.Campaign, error) {
+	engineCfg, err := cfg.internalConfig()
+	if err != nil {
+		return nil, err
+	}
+	return scatternet.New(engineCfg)
+}
+
 // RunScatternet builds and runs the scatternet campaign: every piconet is a
 // full two-testbed paper campaign in its own simulation world, and the
 // bridge overlay carries relayed inter-piconet traffic through the real

@@ -26,6 +26,11 @@ go build ./... >/dev/null
 smoke_start="$(date +%s)"
 ./scripts/smoke_distributed.sh >/dev/null
 smoke_secs="$(($(date +%s) - smoke_start))"
+# The metro smoke is the distributed scatternet pass (two district shards,
+# fault injection, agent + sink kill -9, byte-identical merge — PR 9).
+metro_start="$(date +%s)"
+./scripts/chaos_metro.sh >/dev/null
+metro_secs="$(($(date +%s) - metro_start))"
 
 day_out="$(go test -run '^$' -bench '^BenchmarkCampaignDay$' -benchtime "$day_benchtime" -benchmem . | tee /dev/stderr)"
 month_out="$(go test -run '^$' -bench '^Benchmark(CampaignMonth(Retained)?|ScatternetDay)$' -benchtime "$month_benchtime" -benchmem . | tee /dev/stderr)"
@@ -36,7 +41,7 @@ scale_out="$(go test -run '^$' -bench '^BenchmarkScatternetDay(64|256|1024)$' -b
 # ratio stable against scheduler noise.
 agent_out="$(go test -run '^$' -bench '^BenchmarkAgentStreamDay' -benchtime 100x -benchmem ./internal/collector | tee /dev/stderr)"
 
-printf '%s\n%s\n%s\n%s\n' "$day_out" "$month_out" "$scale_out" "$agent_out" | awk -v smoke="$smoke_secs" '
+printf '%s\n%s\n%s\n%s\n' "$day_out" "$month_out" "$scale_out" "$agent_out" | awk -v smoke="$smoke_secs" -v metro="$metro_secs" '
 # Benchmark lines interleave custom metrics with the standard ones, so pick
 # values by their unit token instead of field position.
 /^Benchmark(Campaign|Scatternet|Agent)/ {
@@ -107,7 +112,8 @@ END {
     printf "  \"agent_stream_day_ns\": %s,\n", ag_ns
     printf "  \"agent_stream_day_spill_ns\": %s,\n", ags_ns
     printf "  \"agent_wal_overhead_ratio\": %.4f,\n", (ags_ns - ag_ns) / ag_ns
-    printf "  \"distributed_smoke_seconds\": %s\n", smoke
+    printf "  \"distributed_smoke_seconds\": %s,\n", smoke
+    printf "  \"metro_smoke_seconds\": %s\n", metro
     printf "}\n"
 }' >BENCH_campaign.json
 

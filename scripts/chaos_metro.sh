@@ -1,0 +1,135 @@
+#!/bin/sh
+# chaos_metro.sh is the real-OS-process proof of the distributed metro
+# plane: a 4-piconet ring scatternet campaign split into two districts,
+# each district a btagent -scatternet shard shipping fold partials to its
+# own btsink district shard over a lossy, duplicating, reordering loopback
+# network. Mid-storm the overlay-owning agent is kill -9'd and restarted
+# (a fresh process re-runs its deterministic piconet worlds past the
+# sink's resume cursor) and district 1's sink shard is kill -9'd and
+# restarted from its durable district checkpoint (its agent retries
+# through the outage with backoff). The btmerge -scatternet report must
+# come out byte-identical to `btcampaign -scatternet -rollup -stream` at
+# the same seed. The Go-level twins (same topology, in-process, fault
+# injection and both crash variants) are the TestMetroDistributed* suite.
+# CI runs this in the chaos job; it is bounded to roughly a minute.
+# Usage: scripts/chaos_metro.sh [days]
+set -eu
+
+cd "$(dirname "$0")/.."
+days="${1:-7}"
+seed=5
+tmp="$(mktemp -d)"
+port0=$((27000 + $$ % 10000))
+port1=$((port0 + 1))
+addr0="127.0.0.1:$port0"
+addr1="127.0.0.1:$port1"
+mkdir -p "$tmp/ckpt0" "$tmp/ckpt1" "$tmp/part0" "$tmp/part1"
+cleanup() {
+    # shellcheck disable=SC2046
+    kill -9 $(jobs -p) 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/btsink" ./cmd/btsink
+go build -o "$tmp/btagent" ./cmd/btagent
+go build -o "$tmp/btmerge" ./cmd/btmerge
+go build -o "$tmp/btcampaign" ./cmd/btcampaign
+
+# Reference: the single-process hierarchical metro report (skip the banner;
+# the report proper starts at the roll-up header). btmerge -scatternet
+# prints the same section, so the extraction diffs directly.
+"$tmp/btcampaign" -seed "$seed" -days "$days" -scatternet -topology ring \
+    -piconets 4 -probe-sample 0.5 -stream -rollup >"$tmp/ref_raw.txt"
+sed -n '/^Scatternet roll-up:/,$p' "$tmp/ref_raw.txt" >"$tmp/ref.txt"
+[ -s "$tmp/ref.txt" ] || { echo "chaos_metro: empty reference report" >&2; exit 1; }
+
+# start_sink SHARD ROUND: one district keyspace per shard. Flags are
+# identical across rounds — a kill -9 restart needs nothing but the same
+# command line plus the surviving checkpoint.
+start_sink() {
+    case "$1" in
+    0) "$tmp/btsink" -addr "$addr0" \
+        -district "key=metro0,seed=$seed,days=$days,range=0:2,piconets=4,topology=ring,probe-sample=0.5" \
+        -checkpoint-dir "$tmp/ckpt0" -partial-dir "$tmp/part0" -timeout 10m \
+        2>"$tmp/sink0_$2.log" & s0=$! ;;
+    1) "$tmp/btsink" -addr "$addr1" \
+        -district "key=metro1,seed=$seed,days=$days,range=2:4,piconets=4,topology=ring,probe-sample=0.5" \
+        -checkpoint-dir "$tmp/ckpt1" -partial-dir "$tmp/part1" -timeout 10m \
+        2>"$tmp/sink1_$2.log" & s1=$! ;;
+    esac
+}
+start_sink 0 1
+start_sink 1 1
+
+# start_agent DISTRICT ROUND: one district shard per agent, faults on every
+# partial frame. District 0 owns piconet 0 and therefore the bridge overlay.
+start_agent() {
+    case "$1" in
+    0) "$tmp/btagent" -sink "$addr0" -keyspace metro0 -scatternet \
+        -piconet-range 0:2 -piconets 4 -topology ring -probe-sample 0.5 \
+        -seed "$seed" -days "$days" -drop 0.05 -dup 0.05 -reorder 0.1 \
+        -fault-seed 70 2>"$tmp/agent0_$2.log" & a0=$! ;;
+    1) "$tmp/btagent" -sink "$addr1" -keyspace metro1 -scatternet \
+        -piconet-range 2:4 -piconets 4 -topology ring -probe-sample 0.5 \
+        -seed "$seed" -days "$days" -drop 0.05 -dup 0.05 -reorder 0.1 \
+        -fault-seed 71 2>"$tmp/agent1_$2.log" & a1=$! ;;
+    esac
+}
+start_agent 0 1
+start_agent 1 1
+
+# Kill the overlay-owning agent the moment its district has durable
+# progress (so the restart genuinely resumes past the sink's cursor), and
+# the other district's sink shard at the same milestone. Best-effort: on a
+# fast machine a victim may already have finished, which only makes the
+# kill a no-op — equivalence is asserted regardless.
+deadline=$(( $(date +%s) + 60 ))
+while [ ! -s "$tmp/ckpt0/metro0.district.ckpt" ] || [ ! -s "$tmp/ckpt1/metro1.district.ckpt" ]; do
+    if [ "$(date +%s)" -gt "$deadline" ]; then
+        echo "chaos_metro: timed out waiting for the first district checkpoints" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+kill -9 "$a0" 2>/dev/null || true
+wait "$a0" 2>/dev/null || true
+kill -9 "$s1" 2>/dev/null || true
+wait "$s1" 2>/dev/null || true
+start_agent 0 2
+start_sink 1 2
+
+# Both agents (the restarted one included) must finish cleanly.
+wait "$a0" || { echo "chaos_metro: restarted district 0 agent failed" >&2; cat "$tmp/agent0_2.log" >&2; exit 1; }
+wait "$a1" || { echo "chaos_metro: district 1 agent failed" >&2; cat "$tmp/agent1_1.log" >&2; exit 1; }
+
+# The sealed district partials appear as the districts complete.
+deadline=$(( $(date +%s) + 120 ))
+for f in part0/metro0 part1/metro1; do
+    while [ ! -s "$tmp/${f%%/*}/${f##*/}.district.json" ]; do
+        if [ "$(date +%s)" -gt "$deadline" ]; then
+            echo "chaos_metro: timed out waiting for $f.district.json" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+done
+
+# Graceful drain: SIGTERM both shards; each must exit 0.
+kill -TERM "$s0" 2>/dev/null || true
+kill -TERM "$s1" 2>/dev/null || true
+wait "$s0" || { echo "chaos_metro: sink shard 0 drain exited non-zero" >&2; exit 1; }
+wait "$s1" || { echo "chaos_metro: sink shard 1 drain exited non-zero" >&2; exit 1; }
+
+# Merge the district partials and demand byte-identity with the
+# single-process hierarchical report.
+"$tmp/btmerge" -seed "$seed" -days "$days" -scatternet \
+    "$tmp/part0/metro0.district.json" "$tmp/part1/metro1.district.json" \
+    >"$tmp/merged_raw.txt"
+sed -n '/^Scatternet roll-up:/,$p' "$tmp/merged_raw.txt" >"$tmp/merged.txt"
+if ! diff -u "$tmp/ref.txt" "$tmp/merged.txt"; then
+    echo "chaos_metro: merged metro report differs from btcampaign -scatternet -rollup" >&2
+    exit 1
+fi
+
+echo "chaos_metro: OK (metro report byte-identical through agent kill -9 + sink shard kill -9/restore)"
