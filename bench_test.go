@@ -244,6 +244,19 @@ func benchCampaignDays(b *testing.B, days int, streaming bool) {
 // trajectory metric).
 func BenchmarkCampaignDay(b *testing.B) { benchCampaignDays(b, 1, false) }
 
+// BenchmarkCampaignDayTaxonomy / BenchmarkCampaignDayNoTaxonomy isolate the
+// taxonomy plane's streaming cost: the identical one-day streaming campaign
+// with the taxonomy/survival accumulators running (the default) and forced
+// off through the benchmark kill switch. scripts/bench.sh emits the pair's
+// overhead ratio into BENCH_campaign.json; the budget is < 5 %.
+func BenchmarkCampaignDayTaxonomy(b *testing.B) { benchCampaignDays(b, 1, true) }
+
+func BenchmarkCampaignDayNoTaxonomy(b *testing.B) {
+	analysis.SetTaxonomyDisabled(true)
+	defer analysis.SetTaxonomyDisabled(false)
+	benchCampaignDays(b, 1, true)
+}
+
 // BenchmarkCampaignMonth measures a month-scale campaign: 30 virtual days
 // per iteration with records folded into streaming aggregates in flight.
 // Compare live-MB against BenchmarkCampaignMonthRetained: the streaming

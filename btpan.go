@@ -21,6 +21,7 @@ package btpan
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/analysis"
@@ -275,6 +276,57 @@ func (r *CampaignResult) Fig4() []analysis.Fig4Row {
 		return r.Agg.Fig4()
 	}
 	return analysis.Fig4PerHost(r.AllReports())
+}
+
+// retainedTaxonomy folds the retained records into fresh taxonomy and
+// survival accumulators, registering the same node roster the streaming
+// plane declares up front (every PANU test log, sorted for determinism).
+// Per-node record order matches the fold order — each testbed's Reports
+// are time-sorted and the accumulators are insensitive to cross-node
+// interleaving — so the result is bit-identical to the streamed one.
+func (r *CampaignResult) retainedTaxonomy() (*analysis.TaxonomyAccum, *analysis.SurvivalAccum) {
+	tax := analysis.NewTaxonomyAccum()
+	surv := analysis.NewSurvivalAccum()
+	for _, res := range []*testbed.Results{r.Random, r.Realistic} {
+		nodes := make([]string, 0, len(res.PerNodeReports))
+		for node := range res.PerNodeReports {
+			nodes = append(nodes, node)
+		}
+		sort.Strings(nodes)
+		for _, node := range nodes {
+			tax.Nodes++
+			surv.Observe(res.Name, node)
+		}
+		for i := range res.Reports {
+			rep := &res.Reports[i]
+			tax.Add(rep)
+			surv.Add(rep.Testbed, rep.Node, rep)
+		}
+	}
+	return tax, surv
+}
+
+// Taxonomy returns the phase/verdict failure split of the campaign.
+// Streaming campaigns answer from the folded accumulator; retained
+// campaigns fold the retained records on demand. Both planes yield
+// bit-identical accumulators for the same seed.
+func (r *CampaignResult) Taxonomy() *analysis.TaxonomyAccum {
+	if r.Agg != nil {
+		return r.Agg.Tax
+	}
+	tax, _ := r.retainedTaxonomy()
+	return tax
+}
+
+// Survival returns the node-uptime survival accumulator (Kaplan-Meier
+// event/censor bins plus the failure-interarrival histogram), on either
+// aggregation plane.
+func (r *CampaignResult) Survival() *analysis.SurvivalAccum {
+	if r.Agg != nil {
+		return r.Agg.Surv
+	}
+	_, surv := r.retainedTaxonomy()
+	return surv
 }
 
 // countersMap merges both testbeds' per-client counters under prefixed keys.

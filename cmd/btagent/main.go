@@ -21,6 +21,12 @@
 // report stays byte-identical to an uninterrupted run. See PROTOCOL.md for
 // the wire and WAL formats and OPERATIONS.md for the crash matrix.
 //
+// Failure records carry their taxonomy tags (protocol phase + transience
+// verdict) from the moment the workload emits them, so the agent needs no
+// flag for the taxonomy plane: the binary codec (v2) and the JSON codec both
+// ship the tags, and the sink's accumulators see exactly what a
+// single-process campaign sees.
+//
 // Usage:
 //
 //	btagent -sink HOST:PORT -testbed random|realistic [flags]

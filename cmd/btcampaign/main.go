@@ -87,6 +87,16 @@
 //	-rollup          with -scatternet -stream: fold piconets into one
 //	                 hierarchical metro-wide report (live memory flat in
 //	                 -piconets) instead of per-piconet tables
+//	-taxonomy        append the failure-taxonomy / survival plane to the
+//	                 report: the per-phase (discovery/probe/open/send/
+//	                 session) failure split with transience verdicts and
+//	                 MTBF/MTTR, the Kaplan-Meier node-uptime curve and the
+//	                 failure-interarrival histogram; sweeps print the
+//	                 taxonomy CI summary, scatternet roll-ups add the
+//	                 partition-candidate spans (all K bridges of a span
+//	                 down >= 30 s at once). Rendering only: the underlying
+//	                 accumulators always run, so the flag cannot change
+//	                 any other table
 package main
 
 import (
@@ -120,8 +130,15 @@ type cliConfig struct {
 	jsonOut  string
 	ckptDir  string
 	scat     bool
+	taxonomy bool
 	topo     scatTopology
 }
+
+// partitionThresholdSeconds is the -taxonomy report's partition-candidate
+// threshold: a span qualifies when all its bridges were simultaneously
+// down for at least this long (tests sweep other thresholds through the
+// library API).
+const partitionThresholdSeconds = 30
 
 // scatOnlyFlags are meaningful only with -scatternet; setting one on a flat
 // campaign is a configuration error (the flag would be silently ignored,
@@ -157,6 +174,7 @@ func parseCLI(args []string) (*cliConfig, error) {
 	shards := fs.Int("shards", 0, "scatternet piconet-plane worker shards (0 = GOMAXPROCS; results identical for any value)")
 	probeSample := fs.Float64("probe-sample", 1, "relay-probe pair sampling fraction in (0, 1]; 1 = exhaustive")
 	rollup := fs.Bool("rollup", false, "scatternet streaming mode: one hierarchical metro-wide report, memory flat in -piconets")
+	taxonomy := fs.Bool("taxonomy", false, "append the failure-taxonomy / survival report (per-phase split, Kaplan-Meier uptime curve, interarrival histogram)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -201,13 +219,16 @@ func parseCLI(args []string) (*cliConfig, error) {
 	if !*scat && *seeds <= 1 && (*jsonOut != "" || *ckptDir != "") {
 		return nil, fmt.Errorf("-json and -checkpoint-dir need sweep mode (-seeds > 1)")
 	}
+	if *taxonomy && *scat && *seeds <= 1 && !*rollup {
+		return nil, fmt.Errorf("-taxonomy with -scatternet needs -rollup (the deployment-wide taxonomy folds the roll-up aggregates)")
+	}
 
 	return &cliConfig{
 		seed: *seed, duration: sim.Time(*days) * sim.Day,
 		scenario: btpan.Scenario(*scenario),
 		out:      *out, codec: codec, stream: *stream,
 		seeds: *seeds, workers: *workers, jsonOut: *jsonOut, ckptDir: *ckptDir,
-		scat: *scat,
+		scat: *scat, taxonomy: *taxonomy,
 		topo: scatTopology{piconets: *piconets, bridges: *bridges,
 			name: *topology, redundancy: *redundancy,
 			hold:   sim.Time(*hold) * sim.Second,
@@ -223,15 +244,15 @@ func main() {
 
 	if cfg.scat {
 		if cfg.seeds > 1 {
-			runScatternetSweep(cfg.seed, cfg.seeds, cfg.duration, cfg.scenario, cfg.workers, cfg.topo)
+			runScatternetSweep(cfg.seed, cfg.seeds, cfg.duration, cfg.scenario, cfg.workers, cfg.topo, cfg.taxonomy)
 			return
 		}
-		runScatternet(cfg.seed, cfg.duration, cfg.scenario, cfg.topo, cfg.stream)
+		runScatternet(cfg.seed, cfg.duration, cfg.scenario, cfg.topo, cfg.stream, cfg.taxonomy)
 		return
 	}
 
 	if cfg.seeds > 1 {
-		runSweep(cfg.seed, cfg.seeds, cfg.duration, cfg.scenario, cfg.workers, cfg.jsonOut, cfg.ckptDir)
+		runSweep(cfg.seed, cfg.seeds, cfg.duration, cfg.scenario, cfg.workers, cfg.jsonOut, cfg.ckptDir, cfg.taxonomy)
 		return
 	}
 
@@ -254,6 +275,9 @@ func main() {
 		// format is shared with btsink (btpan.WriteReport) so a distributed
 		// run of the same seeds is diffable byte for byte.
 		btpan.WriteReport(os.Stdout, res)
+		if cfg.taxonomy {
+			btpan.WriteTaxonomyReport(os.Stdout, res)
+		}
 		return
 	}
 	u, s, tot := res.DataItems()
@@ -263,6 +287,9 @@ func main() {
 	d := res.Dependability()
 	fmt.Printf("MTTF %.2f s, MTTR %.2f s, availability %.3f, coverage %.1f%%\n",
 		d.MTTF, d.MTTR, d.Availability, d.CoveragePct)
+	if cfg.taxonomy {
+		btpan.WriteTaxonomyReport(os.Stdout, res)
+	}
 }
 
 func mode(stream bool) string {
@@ -298,7 +325,7 @@ func (t scatTopology) describe() string {
 // tables plus the bridge-attributed coupling, relay-depth and redundancy
 // tables.
 func runScatternet(seed uint64, duration sim.Time, scenario btpan.Scenario,
-	topo scatTopology, stream bool) {
+	topo scatTopology, stream, taxonomy bool) {
 	fmt.Printf("running %v scatternet campaign (%s, hold %v, scenario %q, seed %d, %s)...\n",
 		duration, topo.describe(), topo.hold, scenario, seed, mode(stream))
 	res, err := btpan.RunScatternet(btpan.ScatternetConfig{
@@ -321,6 +348,12 @@ func runScatternet(seed uint64, duration sim.Time, scenario btpan.Scenario,
 			fmt.Printf("\nRedundancy groups (outage charged only when a whole span is down)\n%s",
 				res.Redundancy.Render())
 		}
+		if taxonomy {
+			fmt.Printf("\n%s", res.Rollup.RenderTaxonomy(duration))
+			if res.Topology.Bridges() > 0 {
+				fmt.Printf("\n%s", res.Redundancy.RenderPartitionCandidates(partitionThresholdSeconds))
+			}
+		}
 		return
 	}
 	fmt.Printf("\nPiconet overview\n%s", res.Overview().Render())
@@ -342,7 +375,7 @@ func runScatternet(seed uint64, duration sim.Time, scenario btpan.Scenario,
 // piconet tables with CIs plus the coupling, relay-depth and redundancy
 // estimates.
 func runScatternetSweep(baseSeed uint64, seeds int, duration sim.Time,
-	scenario btpan.Scenario, workers int, topo scatTopology) {
+	scenario btpan.Scenario, workers int, topo scatTopology, taxonomy bool) {
 	fmt.Printf("sweeping %d seeds x %v scatternet (%s, scenario %q, %d workers)...\n",
 		seeds, duration, topo.describe(), scenario, workers)
 	start := time.Now()
@@ -363,13 +396,16 @@ func runScatternetSweep(baseSeed uint64, seeds int, duration sim.Time,
 	fmt.Printf("Redundancy (mean ± 95%% CI per seed)\n%s\n", res.RedundancyCI().Render())
 	fmt.Printf("correlated piconet outages per seed: %s\n", res.CorrelatedOutagesCI().Format("%.1f"))
 	fmt.Printf("bridge downtime per seed (s):        %s\n", res.BridgeDowntimeCI().Format("%.1f"))
+	if taxonomy {
+		fmt.Printf("\nTaxonomy (piconet 0, mean ± 95%% CI)\n%s", res.TaxonomyCI().Render())
+	}
 }
 
 // runSweep runs the multi-seed sweep and prints every table with 95 % CIs.
 // jsonOut optionally writes the machine-readable CI summary (the input of
 // docs/CONVERGENCE.md); ckptDir makes the sweep resumable per seed.
 func runSweep(baseSeed uint64, seeds int, duration sim.Time, scenario btpan.Scenario,
-	workers int, jsonOut, ckptDir string) {
+	workers int, jsonOut, ckptDir string, taxonomy bool) {
 	fmt.Printf("sweeping %d seeds x %v (scenario %q, %d workers)...\n",
 		seeds, duration, scenario, workers)
 	start := time.Now()
@@ -390,6 +426,9 @@ func runSweep(baseSeed uint64, seeds int, duration sim.Time, scenario btpan.Scen
 	fmt.Printf("Table 2 (error-failure relationship, mean ± 95%% CI)\n%s\n", res.Table2CI().Render())
 	fmt.Printf("Table 3 (SIRA effectiveness, mean ± 95%% CI)\n%s\n", res.Table3CI().Render())
 	fmt.Printf("Table 4 column (dependability, mean ± 95%% CI)\n%s", res.DependabilityCI().Render())
+	if taxonomy {
+		fmt.Printf("\nTaxonomy (mean ± 95%% CI)\n%s", res.TaxonomyCI().Render())
+	}
 	if jsonOut != "" {
 		if err := writeSweepJSON(jsonOut, cfg, res, elapsed); err != nil {
 			fatal(err)
@@ -430,6 +469,11 @@ func writeSweepJSON(path string, cfg btpan.SweepConfig, res *btpan.SweepResult,
 	for i, a := range core.RecoveryActions() {
 		t3total[a.String()] = est(t3.TotalRow[i])
 	}
+	tax := res.TaxonomyCI()
+	taxPhases := make(map[string]ciJSON, len(tax.Failures))
+	for p, e := range tax.Failures {
+		taxPhases[p.String()] = est(e)
+	}
 	out := map[string]any{
 		"base_seed":    cfg.BaseSeed,
 		"seeds":        cfg.Seeds,
@@ -452,6 +496,11 @@ func writeSweepJSON(path string, cfg btpan.SweepConfig, res *btpan.SweepResult,
 		"table2_tot_pct":    t2tot,
 		"table2_source_pct": t2src,
 		"table3_total_pct":  t3total,
+		"taxonomy": map[string]any{
+			"phase_failures":      taxPhases,
+			"dynamic_pct":         est(tax.DynamicPct),
+			"mean_interarrival_s": est(tax.MeanUptime),
+		},
 	}
 	blob, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

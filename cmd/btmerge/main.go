@@ -33,6 +33,9 @@
 //	-days D          virtual campaign days 1..540 (default 4); must match
 //	-scenario 1..4   recovery regime (default 3); must match the partials'
 //	-scatternet      merge scatternet district partials into the metro report
+//	-taxonomy        append the failure-taxonomy / survival report, matching
+//	                 `btcampaign -taxonomy` (or -scatternet -rollup -taxonomy)
+//	                 byte for byte at the same seeds
 package main
 
 import (
@@ -52,8 +55,14 @@ type cliConfig struct {
 	cfg      btpan.CampaignConfig
 	campaign collector.CampaignID
 	scat     bool
+	taxonomy bool
 	paths    []string
 }
+
+// partitionThresholdSeconds is the -taxonomy metro report's
+// partition-candidate threshold; it must match btcampaign's so the merged
+// report stays byte-diffable.
+const partitionThresholdSeconds = 30
 
 // parseCLI parses and validates the command line. Every validation returns
 // an error instead of exiting so the table-driven CLI tests can exercise it
@@ -65,6 +74,8 @@ func parseCLI(args []string) (*cliConfig, error) {
 	scenario := fs.Int("scenario", int(btpan.ScenarioSIRAs),
 		"recovery scenario 1..4 (must match the partials)")
 	scat := fs.Bool("scatternet", false, "merge scatternet district partials into the metro report")
+	taxonomy := fs.Bool("taxonomy", false,
+		"append the failure-taxonomy / survival report to the merged output")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -91,6 +102,7 @@ func parseCLI(args []string) (*cliConfig, error) {
 		cfg:      cfg,
 		campaign: collector.CampaignID{Seed: *seed, Duration: cfg.Duration, Scenario: *scenario},
 		scat:     *scat,
+		taxonomy: *taxonomy,
 		paths:    fs.Args(),
 	}, nil
 }
@@ -103,7 +115,7 @@ func main() {
 	cfg, campaign := cli.cfg, cli.campaign
 
 	if cli.scat {
-		mergeDistricts(campaign, cli.paths)
+		mergeDistricts(campaign, cli.paths, cli.taxonomy)
 		return
 	}
 
@@ -144,12 +156,15 @@ func main() {
 		fatal(err)
 	}
 	btpan.WriteReport(os.Stdout, res)
+	if cli.taxonomy {
+		btpan.WriteTaxonomyReport(os.Stdout, res)
+	}
 }
 
 // mergeDistricts folds scatternet district partials into the metro rollup
 // and prints it exactly as `btcampaign -scatternet -rollup -stream` does
 // (sans the banner line).
-func mergeDistricts(campaign collector.CampaignID, paths []string) {
+func mergeDistricts(campaign collector.CampaignID, paths []string, taxonomy bool) {
 	parts := make([]*collector.DistrictPartial, 0, len(paths))
 	for _, path := range paths {
 		blob, err := collector.ReadFileDurable(path)
@@ -184,6 +199,12 @@ func mergeDistricts(campaign collector.CampaignID, paths []string) {
 	if redundancy != nil {
 		fmt.Printf("\nRedundancy groups (outage charged only when a whole span is down)\n%s",
 			redundancy.Render())
+	}
+	if taxonomy {
+		fmt.Printf("\n%s", roll.RenderTaxonomy(campaign.Duration))
+		if redundancy != nil {
+			fmt.Printf("\n%s", redundancy.RenderPartitionCandidates(partitionThresholdSeconds))
+		}
 	}
 }
 

@@ -43,6 +43,10 @@
 //	-checkpoint-every N  batch frames between checkpoints (default 64)
 //	-timeout D           campaign completion timeout, e.g. 30m (default 0:
 //	                     wait forever)
+//	-taxonomy            append the failure-taxonomy / survival report to the
+//	                     final campaign report (single-campaign stdout and
+//	                     -report-dir exports), matching `btcampaign -taxonomy`
+//	                     byte for byte at the same seeds
 //
 // Multi-tenant flags:
 //
@@ -341,6 +345,8 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "checkpoint file (empty disables durability)")
 	every := flag.Int("checkpoint-every", 64, "batch frames between checkpoints")
 	timeout := flag.Duration("timeout", 0, "campaign completion timeout (0 = forever)")
+	taxonomy := flag.Bool("taxonomy", false,
+		"append the failure-taxonomy / survival report to final campaign reports")
 	var campaigns campaignFlags
 	flag.Var(&campaigns, "campaign", "host one campaign keyspace (repeatable; see package doc)")
 	var districts districtFlags
@@ -435,7 +441,7 @@ func main() {
 	}()
 
 	if !multi {
-		legacyMain(sink, legacy, *checkpoint, *timeout)
+		legacyMain(sink, legacy, *checkpoint, *timeout, *taxonomy)
 		return
 	}
 
@@ -451,7 +457,7 @@ func main() {
 		wg.Add(1)
 		go func(cf campaignFlag) {
 			defer wg.Done()
-			if err := watchKeyspace(sink, cf, *partialDir, *reportDir, *timeout); err != nil {
+			if err := watchKeyspace(sink, cf, *partialDir, *reportDir, *timeout, *taxonomy); err != nil {
 				failures <- fmt.Errorf("campaign %q: %w", cf.key, err)
 			}
 		}(cf)
@@ -485,7 +491,7 @@ func main() {
 
 // watchKeyspace waits for one keyspace's completion and writes its exports.
 func watchKeyspace(sink *collector.Sink, cf campaignFlag, partialDir, reportDir string,
-	timeout time.Duration) error {
+	timeout time.Duration, taxonomy bool) error {
 	p, err := sink.WaitPartial(cf.key, timeout)
 	if err != nil {
 		return err
@@ -518,6 +524,9 @@ func watchKeyspace(sink *collector.Sink, cf campaignFlag, partialDir, reportDir 
 			return err
 		}
 		btpan.WriteReport(f, res)
+		if taxonomy {
+			btpan.WriteTaxonomyReport(f, res)
+		}
 		return f.Close()
 	}
 	return nil
@@ -549,7 +558,7 @@ func watchDistrict(sink *collector.Sink, df districtFlag, partialDir string,
 // legacyMain is the original single-campaign flow: wait for the default
 // keyspace, print the canonical report on stdout, exit.
 func legacyMain(sink *collector.Sink, cfg btpan.CampaignConfig, checkpoint string,
-	timeout time.Duration) {
+	timeout time.Duration, taxonomy bool) {
 	resumed := ""
 	if checkpoint != "" {
 		if _, statErr := os.Stat(checkpoint); statErr == nil {
@@ -571,6 +580,9 @@ func legacyMain(sink *collector.Sink, cfg btpan.CampaignConfig, checkpoint strin
 		fatal(err)
 	}
 	btpan.WriteReport(os.Stdout, res)
+	if taxonomy {
+		btpan.WriteTaxonomyReport(os.Stdout, res)
+	}
 	applied, dups, rejected := sink.Stats()
 	fmt.Fprintf(os.Stderr, "btsink: campaign complete in %v (%d batches applied, %d duplicates filtered, %d rejected)\n",
 		time.Since(start).Round(time.Millisecond), applied, dups, rejected)

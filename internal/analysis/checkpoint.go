@@ -124,6 +124,12 @@ type AggregatesSnapshot struct {
 	ConnAge  stats.HistogramSnapshot             `json:"conn_age"`
 	Scalar   ScalarSnapshot                      `json:"scalar"`
 
+	// Tax/Surv carry the taxonomy/survival plane (PR 10). Nil on
+	// checkpoints written by older builds; restore then keeps the
+	// receiver's (empty but roster-registered) accumulators.
+	Tax  *TaxonomyAccum    `json:"tax,omitempty"`
+	Surv *SurvivalSnapshot `json:"surv,omitempty"`
+
 	Reports        int `json:"reports"`
 	Entries        int `json:"entries"`
 	SeqGaps        int `json:"seq_gaps"`
@@ -144,6 +150,8 @@ func (a *Aggregates) Snapshot() *AggregatesSnapshot {
 		PerHost:  make(map[string]map[core.UserFailure]int, len(a.PerHost)),
 		ConnAge:  a.ConnAge.Snapshot(),
 		Scalar:   a.ScalarC.Snapshot(),
+		Tax:      a.Tax.Clone(),
+		Surv:     a.Surv.Snapshot(),
 		Reports:  a.Reports, Entries: a.Entries,
 		SeqGaps: a.SeqGaps, DroppedRecords: a.DroppedRecords,
 	}
@@ -191,6 +199,16 @@ func (snap *AggregatesSnapshot) restoreInto(a *Aggregates) error {
 	}
 	a.ConnAge = h
 	a.ScalarC = RestoreScalarCounts(snap.Scalar)
+	if snap.Tax != nil {
+		a.Tax = snap.Tax.Clone()
+	}
+	if snap.Surv != nil {
+		surv, err := RestoreSurvivalAccum(snap.Surv)
+		if err != nil {
+			return err
+		}
+		a.Surv = surv
+	}
 	a.Reports, a.Entries = snap.Reports, snap.Entries
 	a.SeqGaps, a.DroppedRecords = snap.SeqGaps, snap.DroppedRecords
 	return nil

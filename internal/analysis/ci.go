@@ -220,6 +220,67 @@ func (t *Table3CI) Render() string {
 	return b.String()
 }
 
+// TaxonomyCI summarizes the taxonomy/survival plane over sweep seeds:
+// per-phase failure counts, the dynamic-availability share, and the mean
+// failure interarrival, each as mean ± 95 % CI (PR 10).
+type TaxonomyCI struct {
+	Seeds int
+	// Failures estimates the per-seed unmasked failure count per phase.
+	Failures map[core.FailurePhase]stats.Estimate
+	// DynamicPct estimates the dynamic-availability share of unmasked
+	// failures (%).
+	DynamicPct stats.Estimate
+	// MeanUptime estimates the mean failure interarrival in seconds.
+	MeanUptime stats.Estimate
+}
+
+// BuildTaxonomyCI summarizes per-seed taxonomy/survival accumulators
+// (slices aligned by seed).
+func BuildTaxonomyCI(taxes []*TaxonomyAccum, survs []*SurvivalAccum) *TaxonomyCI {
+	out := &TaxonomyCI{Seeds: len(taxes),
+		Failures: make(map[core.FailurePhase]stats.Estimate)}
+	for _, p := range core.FailurePhases() {
+		var s stats.Summary
+		for _, t := range taxes {
+			s.Add(float64(t.Failures(p)))
+		}
+		out.Failures[p] = s.CI95()
+	}
+	var dyn, up stats.Summary
+	for i, t := range taxes {
+		total, dynamic := 0, 0
+		for p := range t.Counts {
+			for v, n := range t.Counts[p] {
+				total += n
+				if core.TransienceVerdict(v) == core.VerdictDynamicAvailability {
+					dynamic += n
+				}
+			}
+		}
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(dynamic) / float64(total)
+		}
+		dyn.Add(pct)
+		up.Add(survs[i].MeanUptimeSeconds())
+	}
+	out.DynamicPct = dyn.CI95()
+	out.MeanUptime = up.CI95()
+	return out
+}
+
+// Render formats the taxonomy CI summary, one metric per line.
+func (t *TaxonomyCI) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "taxonomy (%d seeds)\n", t.Seeds)
+	for _, p := range core.FailurePhases() {
+		fmt.Fprintf(&b, "  %-10s failures  %s\n", p, t.Failures[p].Format("%.1f"))
+	}
+	fmt.Fprintf(&b, "  dynamic-availability share  %s %%\n", t.DynamicPct.Format("%.1f"))
+	fmt.Fprintf(&b, "  mean failure interarrival   %s s\n", t.MeanUptime.Format("%.1f"))
+	return b.String()
+}
+
 // ScalarsCI is the §6 scalar findings with CIs.
 type ScalarsCI struct {
 	Seeds                int

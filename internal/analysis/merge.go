@@ -183,6 +183,8 @@ func addAggregates(dst, src *Aggregates) {
 		}
 	}
 	dst.ConnAge.Merge(src.ConnAge)
+	dst.Tax.Merge(src.Tax)
+	dst.Surv.Merge(src.Surv)
 	dst.ScalarC.NRandom += src.ScalarC.NRandom
 	dst.ScalarC.NRealistic += src.ScalarC.NRealistic
 	for d, n := range src.ScalarC.DistCount {

@@ -36,6 +36,10 @@ type RedundancyGroup struct {
 	AllDownEpisodes int
 	// AllDownSeconds is the accumulated all-down time.
 	AllDownSeconds float64
+	// MaxAllDownSeconds is the longest single all-down episode — the
+	// statistic partition-candidate detection thresholds on (one long
+	// correlated outage partitions the span; many short ones do not).
+	MaxAllDownSeconds float64
 	// DurationSeconds is the campaign horizon the group was observed over.
 	DurationSeconds float64
 }
@@ -154,6 +158,43 @@ func (t *RedundancyTable) Render() string {
 		fmt.Fprintf(&b, "%-10s %3d %10d %12d %12.1f %12.6f %12.6f %12s\n",
 			strings.Join(span, ","), g.K, g.MemberOutages, g.AllDownEpisodes,
 			g.AllDownSeconds, g.MeasuredUnavailability(), g.PredictedUnavailability(), model)
+	}
+	return b.String()
+}
+
+// PartitionCandidates lists the spans whose longest all-down episode
+// reached the threshold: every bridge of the span was down simultaneously
+// for that long, so the piconets it serves were plausibly partitioned
+// from the rest of the scatternet (taxonomy plane, PR 10). Rows keep
+// table order.
+func (t *RedundancyTable) PartitionCandidates(thresholdSeconds float64) []*RedundancyGroup {
+	var out []*RedundancyGroup
+	for _, g := range t.Rows {
+		if g.AllDownEpisodes > 0 && g.MaxAllDownSeconds >= thresholdSeconds {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// RenderPartitionCandidates formats the partition-candidate spans at the
+// given threshold ("none" line when no span qualifies).
+func (t *RedundancyTable) RenderPartitionCandidates(thresholdSeconds float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "partition candidates (all K bridges down >= %.0f s)\n", thresholdSeconds)
+	cands := t.PartitionCandidates(thresholdSeconds)
+	if len(cands) == 0 {
+		fmt.Fprintf(&b, "  none\n")
+		return b.String()
+	}
+	for _, g := range cands {
+		span := make([]string, len(g.Span))
+		for i, p := range g.Span {
+			span[i] = fmt.Sprint(p)
+		}
+		fmt.Fprintf(&b, "  span %-10s K=%d episodes=%d longest=%.1f s total=%.1f s\n",
+			strings.Join(span, ","), g.K, g.AllDownEpisodes,
+			g.MaxAllDownSeconds, g.AllDownSeconds)
 	}
 	return b.String()
 }

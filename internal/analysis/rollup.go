@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/sim"
 )
 
 // The hierarchical scatternet roll-up: a city-scale campaign (10³ piconets)
@@ -190,5 +192,19 @@ func (r *ScatternetRollup) Render() string {
 		fmt.Fprintf(&b, "\nRelay delay vs depth (pair sample fraction %.4f)\n%s",
 			r.ProbePairFraction, r.RelayDepth.RenderSampled(r.ProbePairFraction))
 	}
+	return b.String()
+}
+
+// RenderTaxonomy formats the deployment-wide taxonomy/survival plane
+// (PR 10): the per-phase failure split over every piconet, the
+// Kaplan-Meier node-uptime curve and the interarrival histogram. Kept out
+// of Render so the default roll-up report stays byte-identical to its
+// pre-taxonomy captures; btcampaign -taxonomy appends it.
+func (r *ScatternetRollup) RenderTaxonomy(duration sim.Time) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Deployment failure taxonomy (phase x transience)\n%s",
+		r.Agg.Tax.Table(duration).Render())
+	fmt.Fprintf(&b, "\n%s", r.Agg.Surv.Curve(duration).Render())
+	fmt.Fprintf(&b, "\n%s", r.Agg.Surv.RenderInterarrival(40))
 	return b.String()
 }

@@ -135,6 +135,13 @@ type Aggregates struct {
 	// ScalarC backs the §6 scalars.
 	ScalarC *ScalarCounts
 
+	// Tax splits failures by protocol phase and transience verdict; Surv
+	// runs the Kaplan-Meier / interarrival survival estimators. Both are
+	// always accumulated (rendering is what CLI flags gate), so every
+	// plane can be equivalence-checked on them.
+	Tax  *TaxonomyAccum
+	Surv *SurvivalAccum
+
 	// Reports / Entries count every ingested record (the DataItems view,
 	// masked reports included).
 	Reports, Entries int
@@ -159,8 +166,16 @@ func newAggregates(window, radius sim.Time) *Aggregates {
 		PerHost:  make(map[string]map[core.UserFailure]int),
 		ConnAge:  stats.NewHistogram(0, 10000, 10),
 		ScalarC:  NewScalarCounts(),
+		Tax:      NewTaxonomyAccum(),
+		Surv:     NewSurvivalAccum(),
 	}
 }
+
+// Taxonomy exposes the phase/verdict accumulator.
+func (a *Aggregates) Taxonomy() *TaxonomyAccum { return a.Tax }
+
+// Survival exposes the survival accumulator.
+func (a *Aggregates) Survival() *SurvivalAccum { return a.Surv }
 
 // Table2 renders the error-failure relationship table from the streamed
 // evidence.
@@ -263,6 +278,8 @@ func NewStreamer(spec StreamSpec) (*Streamer, error) {
 				s.relators[key] = coalesce.NewStreamRelator(s.agg.Evidence, tb.NAP,
 					spec.Window, spec.Radius)
 				keys = append(keys, key)
+				s.agg.Tax.Nodes++
+				s.agg.Surv.Observe(tb.Name, node)
 			}
 		}
 		s.panuKeys = append(s.panuKeys, keys)
@@ -521,6 +538,10 @@ func (s *Streamer) apply(ev *foldEvent) {
 		}
 		s.agg.Depend.Add(r)
 		s.agg.T3.Add(r)
+		if !taxonomyDisabled.Load() {
+			s.agg.Tax.Add(r)
+			s.agg.Surv.Add(s.spec.Testbeds[ev.rank].Name, ev.node, r)
+		}
 		AddFig4(s.agg.PerHost, r)
 		s.agg.ScalarC.Add(r, s.kinds[ev.rank])
 		if s.kinds[ev.rank] == core.WLRealistic {

@@ -1,0 +1,351 @@
+package analysis
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// The taxonomy-plane property suite: the merge laws that make the
+// accumulators safe to shard (regroup invariance, empty-shard identity),
+// the Kaplan-Meier estimator's invariants (monotone non-increasing, exact
+// on a hand-computed case), and the snapshot round-trip that lets a sink
+// checkpoint mid-campaign without bending any of them.
+
+// synthTaxReport builds one synthetic failure report for stream
+// (testbed, node) at instant at.
+func synthTaxReport(testbed, node string, at sim.Time, phase core.FailurePhase,
+	verdict core.TransienceVerdict, masked, recovered bool, ttr sim.Time) core.UserReport {
+	return core.UserReport{
+		At: at, Testbed: testbed, Node: node,
+		Failure: core.UFConnectFailed, Masked: masked,
+		Recovered: recovered, TTR: ttr,
+		Phase: phase, Verdict: verdict,
+	}
+}
+
+// synthTaxStreams generates a deterministic multi-stream failure history:
+// per-stream time-ordered reports covering every phase/verdict combination,
+// a sprinkling of masked and unrecovered records, and (when hostile) tags
+// outside the declared enum ranges.
+func synthTaxStreams(seed int64, streams, perStream int, hostile bool) map[[2]string][]core.UserReport {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[[2]string][]core.UserReport, streams)
+	for i := 0; i < streams; i++ {
+		key := [2]string{"random", string(rune('a' + i))}
+		at := sim.Time(0)
+		var rs []core.UserReport
+		for j := 0; j < perStream; j++ {
+			at += sim.Time(1+rng.Intn(900)) * sim.Second
+			phase := core.FailurePhase(rng.Intn(int(core.NumFailurePhases)))
+			verdict := core.TransienceVerdict(rng.Intn(int(core.NumTransienceVerdicts)))
+			if hostile && rng.Intn(4) == 0 {
+				phase = core.FailurePhase(200 + rng.Intn(50))
+				verdict = core.TransienceVerdict(200 + rng.Intn(50))
+			}
+			masked := rng.Intn(5) == 0
+			recovered := !masked && rng.Intn(4) != 0
+			var ttr sim.Time
+			if recovered {
+				ttr = sim.Time(rng.Intn(120)) * sim.Second
+			}
+			rs = append(rs, synthTaxReport(key[0], key[1], at, phase, verdict, masked, recovered, ttr))
+		}
+		out[key] = rs
+	}
+	return out
+}
+
+// foldTaxonomy folds the given streams into fresh accumulators, registering
+// every stream first (the Observe step NewStreamer performs).
+func foldTaxonomy(streams map[[2]string][]core.UserReport, keys [][2]string) (*TaxonomyAccum, *SurvivalAccum) {
+	tax, surv := NewTaxonomyAccum(), NewSurvivalAccum()
+	for _, key := range keys {
+		tax.Nodes++
+		surv.Observe(key[0], key[1])
+	}
+	for _, key := range keys {
+		rs := streams[key]
+		for i := range rs {
+			tax.Add(&rs[i])
+			surv.Add(key[0], key[1], &rs[i])
+		}
+	}
+	return tax, surv
+}
+
+// TestTaxonomyMergeRegroupInvariance is the sharding law: partitioning the
+// node streams into shards, folding each shard independently and merging
+// the partials must reproduce the unsharded accumulators exactly — for any
+// grouping, including groupings with empty shards, and including records
+// with out-of-range tags (hostile producers collapse into the unknown
+// bucket, not into divergence).
+func TestTaxonomyMergeRegroupInvariance(t *testing.T) {
+	streams := synthTaxStreams(42, 6, 40, true)
+	keys := make([][2]string, 0, len(streams))
+	for i := 0; i < 6; i++ {
+		keys = append(keys, [2]string{"random", string(rune('a' + i))})
+	}
+	wantTax, wantSurv := foldTaxonomy(streams, keys)
+
+	groupings := [][][]int{
+		{{0, 1, 2, 3, 4, 5}},
+		{{0, 1, 2}, {3, 4, 5}},
+		{{5, 0}, {4, 1}, {3, 2}},
+		{{0}, {1}, {2}, {3}, {4}, {5}},
+		{{2, 4, 0, 5, 1, 3}},
+		{{0, 1, 2, 3, 4, 5}, {}}, // empty shard is a merge identity
+	}
+	for gi, grouping := range groupings {
+		tax, surv := NewTaxonomyAccum(), NewSurvivalAccum()
+		for _, shard := range grouping {
+			shardKeys := make([][2]string, 0, len(shard))
+			for _, idx := range shard {
+				shardKeys = append(shardKeys, keys[idx])
+			}
+			st, ss := foldTaxonomy(streams, shardKeys)
+			tax.Merge(st)
+			surv.Merge(ss)
+		}
+		if !reflect.DeepEqual(tax, wantTax) {
+			t.Errorf("grouping %d: merged TaxonomyAccum diverges:\n got %+v\nwant %+v", gi, tax, wantTax)
+		}
+		if !reflect.DeepEqual(surv, wantSurv) {
+			t.Errorf("grouping %d: merged SurvivalAccum diverges", gi)
+		}
+		// The rendered outputs must agree too (they are pure functions of
+		// the accumulator, but the render path is what ships).
+		horizon := 12 * sim.Hour
+		if got, want := surv.Curve(horizon).Render(), wantSurv.Curve(horizon).Render(); got != want {
+			t.Errorf("grouping %d: merged survival curve diverges:\n%s\nvs\n%s", gi, got, want)
+		}
+		if got, want := tax.Table(horizon).Render(), wantTax.Table(horizon).Render(); got != want {
+			t.Errorf("grouping %d: merged taxonomy table diverges:\n%s\nvs\n%s", gi, got, want)
+		}
+	}
+}
+
+// TestTaxonomyAccumClassification pins the Add contract on the edge
+// records: masked reports count only toward the masked column, unrecovered
+// reports contribute no repair time, and out-of-range tags collapse into
+// the unknown bucket.
+func TestTaxonomyAccumClassification(t *testing.T) {
+	tax := NewTaxonomyAccum()
+	tax.Nodes = 1
+	masked := synthTaxReport("random", "a", sim.Minute, core.PhaseOpen,
+		core.VerdictTransient, true, false, 0)
+	tax.Add(&masked)
+	if tax.Masked[core.PhaseOpen] != 1 || tax.Failures(core.PhaseOpen) != 0 {
+		t.Errorf("masked report leaked into the failure counts: %+v", tax)
+	}
+	unrec := synthTaxReport("random", "a", 2*sim.Minute, core.PhaseSend,
+		core.VerdictDynamicAvailability, false, false, 0)
+	tax.Add(&unrec)
+	if tax.Recovered[core.PhaseSend] != 0 || tax.TTRSum[core.PhaseSend] != 0 {
+		t.Errorf("unrecovered report charged repair time: %+v", tax)
+	}
+	if tax.Failures(core.PhaseSend) != 1 {
+		t.Errorf("unrecovered report not counted as a failure: %+v", tax)
+	}
+	hostile := synthTaxReport("random", "a", 3*sim.Minute, core.FailurePhase(250),
+		core.TransienceVerdict(250), false, true, 5*sim.Second)
+	tax.Add(&hostile)
+	if tax.Counts[core.PhaseUnknown][core.VerdictUnknown] != 1 {
+		t.Errorf("out-of-range tags did not collapse to the unknown bucket: %+v", tax.Counts)
+	}
+	table := tax.Table(sim.Hour)
+	if table.Total.Failures != 2 || table.Total.Masked != 1 {
+		t.Errorf("table totals diverge: %+v", table.Total)
+	}
+}
+
+// TestSurvivalCurveHandComputed pins the Kaplan-Meier estimator on a case
+// small enough to verify by hand. Three nodes over a 600 s horizon:
+//
+//	a fails at 100 s (event, bin [0,120)), then stays up 500 s (censored,
+//	  bin [480,600));
+//	b fails at 300 s (event, bin [240,360)), then stays up 300 s
+//	  (censored, bin [240,360));
+//	c never fails (censored at 600 s, bin [600,720)).
+//
+// Risk set starts at 5 intervals. S steps 1 -> 4/5 at the first event and
+// 4/5 -> 3/5 at the second; censoring alone never moves it.
+func TestSurvivalCurveHandComputed(t *testing.T) {
+	s := NewSurvivalAccum()
+	for _, n := range []string{"a", "b", "c"} {
+		s.Observe("random", n)
+	}
+	ra := synthTaxReport("random", "a", 100*sim.Second, core.PhaseOpen, core.VerdictTransient, false, true, sim.Second)
+	rb := synthTaxReport("random", "b", 300*sim.Second, core.PhaseSend, core.VerdictTransient, false, true, sim.Second)
+	s.Add("random", "a", &ra)
+	s.Add("random", "b", &rb)
+
+	curve := s.Curve(600 * sim.Second)
+	if curve.Total != 5 {
+		t.Fatalf("curve totals %d intervals, want 5", curve.Total)
+	}
+	want := []SurvivalPoint{
+		{UpToSeconds: 120, Events: 1, Censored: 0, AtRisk: 5, S: 0.8},
+		{UpToSeconds: 360, Events: 1, Censored: 1, AtRisk: 4, S: 0.6},
+		{UpToSeconds: 600, Events: 0, Censored: 1, AtRisk: 2, S: 0.6},
+		{UpToSeconds: 720, Events: 0, Censored: 1, AtRisk: 1, S: 0.6},
+	}
+	if len(curve.Points) != len(want) {
+		t.Fatalf("curve has %d points, want %d: %+v", len(curve.Points), len(want), curve.Points)
+	}
+	for i, p := range curve.Points {
+		w := want[i]
+		if p.UpToSeconds != w.UpToSeconds || p.Events != w.Events ||
+			p.Censored != w.Censored || p.AtRisk != w.AtRisk ||
+			math.Abs(p.S-w.S) > 1e-12 {
+			t.Errorf("point %d = %+v, want %+v", i, p, w)
+		}
+	}
+	// Mean interarrival counts only closed (event) intervals: (100+300)/2.
+	if got := s.MeanUptimeSeconds(); math.Abs(got-200) > 1e-12 {
+		t.Errorf("mean uptime %.3f s, want 200", got)
+	}
+	// Curve is non-mutating: the same call must repeat byte-identically.
+	if a, b := curve.Render(), s.Curve(600*sim.Second).Render(); a != b {
+		t.Errorf("Curve mutated the accumulator:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestSurvivalCurveMonotone is the estimator's structural invariant on
+// random histories: S(t) starts at or below 1, never increases, stays
+// non-negative, and the at-risk column drains by exactly the events plus
+// censored of each row.
+func TestSurvivalCurveMonotone(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		streams := synthTaxStreams(seed, 5, 30, false)
+		keys := make([][2]string, 0, 5)
+		for i := 0; i < 5; i++ {
+			keys = append(keys, [2]string{"random", string(rune('a' + i))})
+		}
+		_, surv := foldTaxonomy(streams, keys)
+		curve := surv.Curve(10 * sim.Hour)
+		prevS, atRisk := 1.0, curve.Total
+		for i, p := range curve.Points {
+			if p.S > prevS+1e-12 || p.S < 0 {
+				t.Fatalf("seed %d point %d: S %.9f after %.9f — not monotone non-increasing",
+					seed, i, p.S, prevS)
+			}
+			if p.AtRisk != atRisk {
+				t.Fatalf("seed %d point %d: at-risk %d, want %d", seed, i, p.AtRisk, atRisk)
+			}
+			atRisk -= p.Events + p.Censored
+			prevS = p.S
+		}
+		if atRisk != 0 {
+			t.Fatalf("seed %d: %d intervals never left the risk set", seed, atRisk)
+		}
+	}
+}
+
+// TestTaxonomySnapshotRoundTripMidStream checkpoints the accumulators in
+// the middle of a synthetic campaign (through JSON, as the sink checkpoint
+// does), restores them, feeds both the original and the restored copy the
+// identical remainder and requires bit-identical accumulators and rendered
+// outputs — the crash/restore path must not bend the survival plane.
+func TestTaxonomySnapshotRoundTripMidStream(t *testing.T) {
+	streams := synthTaxStreams(7, 4, 30, true)
+	keys := [][2]string{
+		{"random", "a"}, {"random", "b"}, {"random", "c"}, {"random", "d"},
+	}
+	tax, surv := NewTaxonomyAccum(), NewSurvivalAccum()
+	for _, key := range keys {
+		tax.Nodes++
+		surv.Observe(key[0], key[1])
+	}
+	// First half.
+	for _, key := range keys {
+		rs := streams[key]
+		for i := 0; i < len(rs)/2; i++ {
+			tax.Add(&rs[i])
+			surv.Add(key[0], key[1], &rs[i])
+		}
+	}
+	// Checkpoint through the JSON wire format.
+	blob, err := json.Marshal(struct {
+		Tax  *TaxonomyAccum
+		Surv *SurvivalSnapshot
+	}{tax.Clone(), surv.Snapshot()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Tax  *TaxonomyAccum
+		Surv *SurvivalSnapshot
+	}
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatal(err)
+	}
+	tax2 := snap.Tax
+	surv2, err := RestoreSurvivalAccum(snap.Surv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second half into both.
+	for _, key := range keys {
+		rs := streams[key]
+		for i := len(rs) / 2; i < len(rs); i++ {
+			tax.Add(&rs[i])
+			tax2.Add(&rs[i])
+			surv.Add(key[0], key[1], &rs[i])
+			surv2.Add(key[0], key[1], &rs[i])
+		}
+	}
+	if !reflect.DeepEqual(tax, tax2) {
+		t.Errorf("restored TaxonomyAccum diverges:\n got %+v\nwant %+v", tax2, tax)
+	}
+	if !reflect.DeepEqual(surv, surv2) {
+		t.Errorf("restored SurvivalAccum diverges:\n got %+v\nwant %+v", surv2, surv)
+	}
+	horizon := 10 * sim.Hour
+	if a, b := surv.Curve(horizon).Render(), surv2.Curve(horizon).Render(); a != b {
+		t.Errorf("restored survival curve diverges:\n%s\nvs\n%s", b, a)
+	}
+	if a, b := tax.Table(horizon).Render(), tax2.Table(horizon).Render(); a != b {
+		t.Errorf("restored taxonomy table diverges:\n%s\nvs\n%s", b, a)
+	}
+}
+
+// TestSurvivalCensorIdempotent pins the piconet-fold contract: Censor
+// closes every open interval at the horizon, a second Censor is a no-op,
+// and two censored same-roster accumulators merge without key collisions —
+// the property the scatternet fold relies on when piconets share a roster.
+func TestSurvivalCensorIdempotent(t *testing.T) {
+	build := func() *SurvivalAccum {
+		s := NewSurvivalAccum()
+		s.Observe("random", "a")
+		s.Observe("random", "b")
+		r := synthTaxReport("random", "a", 100*sim.Second, core.PhaseOpen,
+			core.VerdictTransient, false, true, sim.Second)
+		s.Add("random", "a", &r)
+		return s
+	}
+	horizon := 600 * sim.Second
+	a := build()
+	a.Censor(horizon)
+	if len(a.LastFail) != 0 {
+		t.Fatalf("Censor left %d open streams", len(a.LastFail))
+	}
+	once := a.Curve(horizon).Render()
+	a.Censor(horizon)
+	if got := a.Curve(horizon).Render(); got != once {
+		t.Errorf("second Censor changed the curve:\n%s\nvs\n%s", got, once)
+	}
+	// Same roster in a second "piconet": merge must work after censoring
+	// (and would collide on open-stream keys without it).
+	b := build()
+	b.Censor(horizon)
+	a.Merge(b)
+	if got := a.Curve(horizon).Total; got != 6 {
+		t.Errorf("merged censored accumulators total %d intervals, want 6", got)
+	}
+}

@@ -2,7 +2,10 @@ package collector
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -28,9 +31,11 @@ func fullBatch() *Batch {
 				SDPFlag: true, ScanFlag: false, DistanceM: 7.25,
 				IdleBefore: 27 * sim.Second, ConnID: 1 << 62,
 				Masked: true, Recovered: true, Recovery: core.RABTStackReset,
-				TTR: 95 * sim.Second,
+				TTR:   95 * sim.Second,
+				Phase: core.PhaseOpen, Verdict: core.VerdictDynamicAvailability,
 			},
-			{At: 0, Node: "Win", Failure: core.UFPacketLoss, DistanceM: 0.5},
+			{At: 0, Node: "Win", Failure: core.UFPacketLoss, DistanceM: 0.5,
+				Phase: core.PhaseSend, Verdict: core.VerdictTransient},
 		},
 		Entries: []core.SystemEntry{
 			{
@@ -71,6 +76,149 @@ func TestCrossCodecEquivalence(t *testing.T) {
 	}
 	if !reflect.DeepEqual(fromBin, fromJSON) {
 		t.Error("binary and json decodes disagree")
+	}
+}
+
+// encodeV1Frame hand-builds a version-1 binary frame for b: the pre-taxonomy
+// wire layout, byte for byte — the version tag says 1 and no taxonomy byte
+// follows TTR. This is what every agent built before PR 10 puts on the wire.
+func encodeV1Frame(b *Batch) []byte {
+	tab := &stringTable{index: make(map[string]uint64, 8)}
+	tab.intern(b.Node)
+	tab.intern(b.Testbed)
+	for i := range b.Reports {
+		tab.intern(b.Reports[i].Testbed)
+		tab.intern(b.Reports[i].Node)
+	}
+	for i := range b.Entries {
+		tab.intern(b.Entries[i].Testbed)
+		tab.intern(b.Entries[i].Node)
+		tab.intern(b.Entries[i].Detail)
+	}
+	frame := []byte{0, 0, 0, 0, byte(CodecBinary)}
+	frame = binary.AppendUvarint(frame, legacyBinaryVersion)
+	frame = binary.AppendUvarint(frame, uint64(len(tab.list)))
+	for _, s := range tab.list {
+		frame = binary.AppendUvarint(frame, uint64(len(s)))
+		frame = append(frame, s...)
+	}
+	frame = binary.AppendUvarint(frame, tab.intern(b.Node))
+	frame = binary.AppendUvarint(frame, tab.intern(b.Testbed))
+	frame = binary.AppendVarint(frame, int64(b.Watermark))
+	frame = binary.AppendUvarint(frame, b.Seq)
+	frame = binary.AppendUvarint(frame, uint64(len(b.Reports)))
+	for i := range b.Reports {
+		r := &b.Reports[i]
+		frame = binary.AppendVarint(frame, int64(r.At))
+		frame = binary.AppendUvarint(frame, tab.intern(r.Testbed))
+		frame = binary.AppendUvarint(frame, tab.intern(r.Node))
+		frame = binary.AppendVarint(frame, int64(r.Failure))
+		frame = binary.AppendVarint(frame, int64(r.Workload))
+		frame = binary.AppendVarint(frame, int64(r.App))
+		frame = binary.AppendVarint(frame, int64(r.Packet))
+		frame = binary.AppendVarint(frame, int64(r.SentPkts))
+		frame = binary.AppendVarint(frame, int64(r.RecvdPkts))
+		frame = binary.AppendVarint(frame, int64(r.CycleIdx))
+		var flags byte
+		if r.SDPFlag {
+			flags |= 1
+		}
+		if r.ScanFlag {
+			flags |= 2
+		}
+		if r.Masked {
+			flags |= 4
+		}
+		if r.Recovered {
+			flags |= 8
+		}
+		frame = append(frame, flags)
+		frame = binary.LittleEndian.AppendUint64(frame, math.Float64bits(r.DistanceM))
+		frame = binary.AppendVarint(frame, int64(r.IdleBefore))
+		frame = binary.AppendUvarint(frame, r.ConnID)
+		frame = binary.AppendVarint(frame, int64(r.Recovery))
+		frame = binary.AppendVarint(frame, int64(r.TTR))
+	}
+	frame = binary.AppendUvarint(frame, uint64(len(b.Entries)))
+	for i := range b.Entries {
+		e := &b.Entries[i]
+		frame = binary.AppendVarint(frame, int64(e.At))
+		frame = binary.AppendUvarint(frame, tab.intern(e.Testbed))
+		frame = binary.AppendUvarint(frame, tab.intern(e.Node))
+		frame = binary.AppendVarint(frame, int64(e.Source))
+		frame = binary.AppendVarint(frame, int64(e.Code))
+		frame = binary.AppendUvarint(frame, tab.intern(e.Detail))
+		frame = binary.AppendUvarint(frame, e.ConnID)
+	}
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	return frame
+}
+
+// TestBinaryCodecV1CrossVersion pins the cross-version contract: a
+// version-1 frame (a pre-taxonomy agent) decodes losslessly, with both
+// taxonomy tags at their zero values — never an error, never garbage tags.
+func TestBinaryCodecV1CrossVersion(t *testing.T) {
+	in := fullBatch()
+	got, err := ReadBatch(bytes.NewReader(encodeV1Frame(in)))
+	if err != nil {
+		t.Fatalf("v1 frame rejected: %v", err)
+	}
+	want := fullBatch()
+	for i := range want.Reports {
+		want.Reports[i].Phase = core.PhaseUnknown
+		want.Reports[i].Verdict = core.VerdictUnknown
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("v1 decode diverges:\n got %+v\nwant %+v", got, want)
+	}
+	// And the re-encoded (v2) frame round-trips the same records.
+	var buf bytes.Buffer
+	if err := WriteBatchCodec(&buf, got, CodecBinary); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadBatch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, want) {
+		t.Error("v1 -> v2 re-encode round trip diverges")
+	}
+}
+
+// TestBinaryCodecRejectsCorruptTaxonomy pins the loud-rejection contract:
+// a v2 frame whose taxonomy byte encodes an out-of-range phase or verdict
+// must fail the decode with a diagnostic, never clamp silently.
+func TestBinaryCodecRejectsCorruptTaxonomy(t *testing.T) {
+	in := &Batch{Node: "Verde", Testbed: "random",
+		Reports: []core.UserReport{{
+			At: sim.Minute, Testbed: "random", Node: "Verde",
+			Failure: core.UFConnectFailed,
+			Phase:   core.PhaseOpen, Verdict: core.VerdictTransient,
+		}}}
+	var buf bytes.Buffer
+	if err := WriteBatchCodec(&buf, in, CodecBinary); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	// One report, zero entries: the frame ends with the report's taxonomy
+	// byte followed by the single-byte entry count.
+	taxOff := len(frame) - 2
+	for _, tax := range []byte{0xFF, 0x0F, 0xF1} {
+		mut := append([]byte(nil), frame...)
+		mut[taxOff] = tax
+		_, err := ReadBatch(bytes.NewReader(mut))
+		if err == nil {
+			t.Errorf("taxonomy byte 0x%02x accepted", tax)
+			continue
+		}
+		if !strings.Contains(err.Error(), "corrupt taxonomy byte") {
+			t.Errorf("taxonomy byte 0x%02x rejected with the wrong diagnostic: %v", tax, err)
+		}
+	}
+	// The unmutated frame still decodes (the offset arithmetic above really
+	// did point at the taxonomy byte, not something else).
+	if _, err := ReadBatch(bytes.NewReader(frame)); err != nil {
+		t.Fatalf("control decode failed: %v", err)
 	}
 }
 

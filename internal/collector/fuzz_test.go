@@ -44,6 +44,9 @@ func FuzzDecode(f *testing.F) {
 			mangled[4] ^= 0xFF
 			f.Add(mangled)
 		}
+		// The pre-taxonomy wire format: version-1 frames must keep decoding
+		// (tags zeroed), so the fuzzer starts from both codec versions.
+		f.Add(encodeV1Frame(b))
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		b, err := ReadBatch(bytes.NewReader(data))

@@ -189,7 +189,7 @@ func ReadBatch(r io.Reader) (*Batch, error) {
 	}
 }
 
-// The binary payload layout (version 1):
+// The binary payload layout (version 2):
 //
 //	uvarint  version
 //	uvarint  string-table length, then per string: uvarint len + bytes
@@ -202,7 +202,16 @@ func ReadBatch(r io.Reader) (*Batch, error) {
 // All integers are varints (signed ones zigzag-encoded); strings are
 // interned per batch, which collapses the node/testbed names and repeated
 // daemon messages that dominate JSON frames.
-const binaryVersion = 1
+//
+// Version 2 (PR 10) appends one taxonomy byte per report after TTR: the
+// protocol phase in bits 0–3 and the transience verdict in bits 4–5.
+// Version 1 frames — produced before the taxonomy plane existed — decode
+// losslessly with both tags left at their zero values; out-of-range phase
+// or verdict bits in a v2 frame are rejected loudly, never clamped.
+const (
+	binaryVersion       = 2
+	legacyBinaryVersion = 1
+)
 
 // stringTable interns strings in first-appearance order during encoding.
 type stringTable struct {
@@ -282,6 +291,7 @@ func appendBinaryBatch(frame []byte, b *Batch) []byte {
 		frame = binary.AppendUvarint(frame, r.ConnID)
 		frame = binary.AppendVarint(frame, int64(r.Recovery))
 		frame = binary.AppendVarint(frame, int64(r.TTR))
+		frame = append(frame, byte(r.Phase)&0x0F|byte(r.Verdict)<<4)
 	}
 
 	frame = binary.AppendUvarint(frame, uint64(len(b.Entries)))
@@ -391,7 +401,8 @@ func (r *binReader) str(table []string, what string) string {
 // buffer is pooled; string() copies keep no reference to it).
 func decodeBinaryBatch(blob []byte) (*Batch, error) {
 	r := &binReader{b: blob}
-	if v := r.uvarint("version"); r.err == nil && v != binaryVersion {
+	v := r.uvarint("version")
+	if r.err == nil && v != binaryVersion && v != legacyBinaryVersion {
 		return nil, fmt.Errorf("collector: unsupported binary batch version %d", v)
 	}
 	nstr := r.uvarint("string table length")
@@ -451,6 +462,16 @@ func decodeBinaryBatch(blob []byte) (*Batch, error) {
 		rec.ConnID = r.uvarint("conn id")
 		rec.Recovery = core.RecoveryAction(r.varint("recovery"))
 		rec.TTR = sim.Time(r.varint("ttr"))
+		if v >= binaryVersion {
+			tax := r.byte("taxonomy")
+			rec.Phase = core.FailurePhase(tax & 0x0F)
+			rec.Verdict = core.TransienceVerdict(tax >> 4)
+			if r.err == nil && (int(rec.Phase) > core.NumFailurePhases ||
+				int(rec.Verdict) > core.NumTransienceVerdicts) {
+				return nil, fmt.Errorf("collector: corrupt taxonomy byte 0x%02x (phase %d, verdict %d) in binary batch",
+					tax, rec.Phase, rec.Verdict)
+			}
+		}
 		if r.err == nil {
 			b.Reports = append(b.Reports, rec)
 		}

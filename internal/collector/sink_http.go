@@ -44,6 +44,15 @@ type LiveTables struct {
 	Table3 string                  `json:"table3"`
 	Table4 *analysis.Dependability `json:"table4"`
 
+	// Taxonomy / Survival / Interarrival are the failure-taxonomy plane
+	// rendered from the same snapshot: the per-phase transience split, the
+	// Kaplan-Meier node-uptime curve (censored at the campaign horizon) and
+	// the failure-interarrival histogram. Mid-run they reflect the data
+	// applied so far, exactly like Table 2/3.
+	Taxonomy     string `json:"taxonomy"`
+	Survival     string `json:"survival"`
+	Interarrival string `json:"interarrival"`
+
 	// MTTFCI / MTTRCI are the Student-t 95 % confidence intervals over the
 	// campaign's observed inter-failure gaps / repair times so far.
 	MTTFCI stats.Estimate `json:"mttf_ci95"`
@@ -98,11 +107,14 @@ func (s *Sink) LiveTables(key string) (*LiveTables, error) {
 		Keyspace: key, Campaign: campaign, Complete: complete,
 		Reports: agg.Reports, Entries: agg.Entries,
 		SeqGaps: agg.SeqGaps, DroppedRecords: agg.DroppedRecords,
-		Table2: agg.Table2().Render(),
-		Table3: agg.Table3().Render(),
-		Table4: agg.Dependability(scenario),
-		MTTFCI: ttf.CI95(),
-		MTTRCI: ttr.CI95(),
+		Table2:       agg.Table2().Render(),
+		Table3:       agg.Table3().Render(),
+		Table4:       agg.Dependability(scenario),
+		Taxonomy:     agg.Taxonomy().Table(campaign.Duration).Render(),
+		Survival:     agg.Survival().Curve(campaign.Duration).Render(),
+		Interarrival: agg.Survival().RenderInterarrival(40),
+		MTTFCI:       ttf.CI95(),
+		MTTRCI:       ttr.CI95(),
 	}, nil
 }
 

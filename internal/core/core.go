@@ -130,6 +130,119 @@ func (g FailureGroup) String() string {
 	}
 }
 
+// FailurePhase is the protocol phase a user-level failure struck, the
+// finer-grained classification production failure-data pipelines layer on
+// top of Table 1's three utilisation groups: device discovery, service
+// probing (SDP), link/connection opening, data sending, and established-
+// session management. PhaseUnknown is the zero value carried by records
+// produced before the taxonomy plane existed (binary codec v1 frames).
+type FailurePhase int
+
+// Protocol phases, in pipeline order.
+const (
+	PhaseUnknown FailurePhase = iota
+	PhaseDiscovery
+	PhaseProbe
+	PhaseOpen
+	PhaseSend
+	PhaseSession
+
+	numFailurePhases
+)
+
+// NumFailurePhases is the number of defined protocol phases.
+const NumFailurePhases = int(numFailurePhases) - 1
+
+// FailurePhases lists all defined phases in pipeline order.
+func FailurePhases() []FailurePhase {
+	out := make([]FailurePhase, 0, NumFailurePhases)
+	for p := PhaseDiscovery; p < numFailurePhases; p++ {
+		out = append(out, p)
+	}
+	return out
+}
+
+var failurePhaseNames = map[FailurePhase]string{
+	PhaseUnknown:   "unknown",
+	PhaseDiscovery: "discovery",
+	PhaseProbe:     "probe",
+	PhaseOpen:      "open",
+	PhaseSend:      "send",
+	PhaseSession:   "session",
+}
+
+// String names the phase.
+func (p FailurePhase) String() string {
+	if s, ok := failurePhaseNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("FailurePhase(%d)", int(p))
+}
+
+// Valid reports whether p is a defined phase (not PhaseUnknown).
+func (p FailurePhase) Valid() bool { return p > PhaseUnknown && p < numFailurePhases }
+
+// Phase classifies the failure by the protocol phase it struck. The mapping
+// refines Table 1's groups: the Search group splits into discovery (inquiry)
+// and probe (SDP), the Connect group into open (link/PAN/BNEP setup) and
+// session (role switching on an established link), and the Data group is the
+// send phase.
+func (f UserFailure) Phase() FailurePhase {
+	switch f {
+	case UFInquiryScanFailed:
+		return PhaseDiscovery
+	case UFNAPNotFound, UFSDPSearchFailed:
+		return PhaseProbe
+	case UFConnectFailed, UFPANConnectFailed, UFBindFailed:
+		return PhaseOpen
+	case UFSwitchRoleRequestFailed, UFSwitchRoleCommandFailed:
+		return PhaseSession
+	case UFPacketLoss, UFDataMismatch:
+		return PhaseSend
+	default:
+		return PhaseUnknown
+	}
+}
+
+// TransienceVerdict records whether a failure looked like a one-off
+// transient or part of a dynamic-availability episode — a recurrence of the
+// same protocol phase on the same node within the recurrence window,
+// indicating the node is oscillating in and out of service rather than
+// suffering isolated glitches. The verdict is decided once, at collection
+// time, by the windowed recurrence rule (see workload tagging), so every
+// aggregation plane sees the same classification. VerdictUnknown is the
+// zero value of untagged (pre-taxonomy) records.
+type TransienceVerdict int
+
+// Transience verdicts.
+const (
+	VerdictUnknown TransienceVerdict = iota
+	VerdictTransient
+	VerdictDynamicAvailability
+
+	numTransienceVerdicts
+)
+
+// NumTransienceVerdicts is the number of defined verdicts.
+const NumTransienceVerdicts = int(numTransienceVerdicts) - 1
+
+// String names the verdict.
+func (v TransienceVerdict) String() string {
+	switch v {
+	case VerdictTransient:
+		return "transient"
+	case VerdictDynamicAvailability:
+		return "dynamic-availability"
+	case VerdictUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("TransienceVerdict(%d)", int(v))
+	}
+}
+
+// Valid reports whether v is a defined verdict (not VerdictUnknown).
+func (v TransienceVerdict) Valid() bool { return v > VerdictUnknown && v < numTransienceVerdicts }
+
 // SysSource enumerates the system-level failure locations of Table 1 (right
 // side): the component that signalled the failure.
 type SysSource int

@@ -252,6 +252,12 @@ type UserReport struct {
 	Recovered  bool           `json:"recovered"`        // did some recovery action eventually succeed?
 	Recovery   RecoveryAction `json:"recovery"`         // the SIRA that cleared it (RANone if none/NA)
 	TTR        sim.Time       `json:"ttr"`              // time to recover
+
+	// Taxonomy tags, assigned once when the report is created (workload
+	// tagging) so every aggregation plane sees the same classification.
+	// Both are zero on records from pre-taxonomy producers (codec v1).
+	Phase   FailurePhase      `json:"phase,omitempty"`   // protocol phase the failure struck
+	Verdict TransienceVerdict `json:"verdict,omitempty"` // windowed-recurrence transience verdict
 }
 
 // Severity reports the failure severity: the ordinal of the SIRA that

@@ -58,7 +58,11 @@ func (g *redundancyGroup) memberUp(i int, t sim.Time) {
 		return
 	}
 	if g.downCount == len(g.downSince) {
-		g.row.AllDownSeconds += (t - g.allDownSince).Seconds()
+		ep := (t - g.allDownSince).Seconds()
+		g.row.AllDownSeconds += ep
+		if ep > g.row.MaxAllDownSeconds {
+			g.row.MaxAllDownSeconds = ep
+		}
 	}
 	g.row.MemberDownSeconds[i] += (t - g.downSince[i]).Seconds()
 	g.downSince[i] = -1

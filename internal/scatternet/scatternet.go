@@ -465,6 +465,14 @@ func (c *Campaign) runPiconet(p int) (*Piconet, []analysis.DependEvent, error) {
 	}
 	pic.Random, pic.Realistic = pair.RunStreamingSequential(c.cfg.Duration, c.cfg.FlushEvery, s)
 	pic.Agg = s.Finalize()
+	if c.cfg.Rollup {
+		// Every piconet pair uses the same testbed/node roster, so the
+		// survival accumulators of two piconets would collide on their
+		// open-stream keys when the fold merges them: close every open
+		// uptime interval at the campaign horizon first (exact — the
+		// horizon is where a lone campaign would censor them anyway).
+		pic.Agg.Surv.Censor(c.cfg.Duration)
+	}
 	return pic, s.DependTrace(), nil
 }
 

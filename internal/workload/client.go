@@ -60,6 +60,11 @@ type Client struct {
 	lastFailureAt sim.Time
 	plan          cyclePlan
 
+	// lastPhaseFail[p] is the instant of this node's previous failure in
+	// protocol phase p (-1 before the first) — the O(1) windowed-recurrence
+	// state behind the collection-time transience verdict.
+	lastPhaseFail [int(core.NumFailurePhases) + 1]sim.Time
+
 	// Transfer progress, preserved across masked-loss retries.
 	sendLeft, recvLeft int
 
@@ -95,6 +100,9 @@ func NewClient(cfg Config, world *sim.World, host, napHost *stack.Host, testLog 
 		cascade:  recovery.NewCascade(host, world.RNG("recovery."+host.Node)),
 		rng:      world.RNG("workload." + host.Node),
 		counters: NewCounters(),
+	}
+	for i := range c.lastPhaseFail {
+		c.lastPhaseFail[i] = -1
 	}
 	c.fnCycleStart = c.cycleStart
 	c.fnSearchPhase = c.searchPhase
@@ -219,10 +227,35 @@ func (c *Client) file(f core.UserFailure, out recovery.Outcome) {
 		rep.Recovery = out.Action
 		rep.TTR = out.TTR
 	}
+	rep.Phase, rep.Verdict = c.classify(f)
 	c.testLog.Append(rep)
 	c.counters.Failures[f]++
 	c.cycleFailed = true
 	c.lastFailureAt = c.world.Now()
+}
+
+// RecurrenceWindow is the windowed-recurrence horizon of the transience
+// verdict: a repeat failure of the same protocol phase on the same node
+// within this window is judged a dynamic-availability episode (the node is
+// oscillating in and out of service) rather than an isolated transient.
+const RecurrenceWindow = 10 * sim.Minute
+
+// classify assigns the taxonomy tags at collection time: the protocol phase
+// from the failure type, and the transience verdict from the windowed
+// recurrence rule. Masked occurrences update the recurrence state too —
+// masking hides the failure from the user, but the phase did fail. Tagging
+// here, where the record is born, is what makes the classification
+// plane-independent: retained, streaming and distributed collection all see
+// records that already carry identical tags.
+func (c *Client) classify(f core.UserFailure) (core.FailurePhase, core.TransienceVerdict) {
+	phase := f.Phase()
+	verdict := core.VerdictTransient
+	now := c.world.Now()
+	if last := c.lastPhaseFail[phase]; last >= 0 && now-last <= RecurrenceWindow {
+		verdict = core.VerdictDynamicAvailability
+	}
+	c.lastPhaseFail[phase] = now
+	return phase, verdict
 }
 
 // transientClass reports whether the RetryTransient masking applies to f.
@@ -276,6 +309,7 @@ func (c *Client) masked(f core.UserFailure) {
 		Masked:    true,
 		Recovered: true,
 	}
+	rep.Phase, rep.Verdict = c.classify(f)
 	c.testLog.Append(rep)
 }
 

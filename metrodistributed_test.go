@@ -87,13 +87,20 @@ func metroDistricts(cfg ScatternetConfig, ckptDir string) ([]collector.DistrictC
 }
 
 // renderMetro formats the rollup + redundancy section exactly as cmd/btmerge
-// -scatternet and cmd/btcampaign -scatternet -rollup (sans banner) print it.
-func renderMetro(roll *analysis.ScatternetRollup, red *analysis.RedundancyTable) string {
+// -scatternet and cmd/btcampaign -scatternet -rollup (sans banner) print it,
+// with the -taxonomy appendix always on so the equivalence tests pin the
+// survival plane across the wire too.
+func renderMetro(roll *analysis.ScatternetRollup, red *analysis.RedundancyTable,
+	duration sim.Time) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "\n%s", roll.Render())
 	if red != nil {
 		fmt.Fprintf(&b, "\nRedundancy groups (outage charged only when a whole span is down)\n%s",
 			red.Render())
+	}
+	fmt.Fprintf(&b, "\n%s", roll.RenderTaxonomy(duration))
+	if red != nil {
+		fmt.Fprintf(&b, "\n%s", red.RenderPartitionCandidates(30))
 	}
 	return b.String()
 }
@@ -110,7 +117,7 @@ func metroReference(t *testing.T, cfg ScatternetConfig) string {
 	if res.Topology.Bridges() > 0 {
 		red = res.Redundancy
 	}
-	return renderMetro(res.Rollup, red)
+	return renderMetro(res.Rollup, red, cfg.Duration)
 }
 
 // runMetroAgent runs one district agent exactly as cmd/btagent -scatternet
@@ -170,7 +177,7 @@ func collectMetro(t *testing.T, sink *collector.Sink,
 	if err != nil {
 		t.Fatal(err)
 	}
-	return renderMetro(roll, red)
+	return renderMetro(roll, red, dcs[0].Campaign.Duration)
 }
 
 // runMetroDistributed runs the full two-district + sink campaign over

@@ -62,3 +62,17 @@ func WriteReport(w io.Writer, res *CampaignResult) {
 	t4 := &analysis.Table4{Columns: []*analysis.Dependability{d}}
 	fmt.Fprintf(w, "\nTable 4 column\n%s", t4.Render())
 }
+
+// WriteTaxonomyReport renders the PR 10 taxonomy/survival plane — the
+// per-phase failure split with MTBF/MTTR, the Kaplan-Meier node-uptime
+// survival curve and the failure-interarrival histogram — in the shared
+// canonical format (btcampaign -taxonomy and the btsink live tables use
+// the same renderers, so the distributed equivalence stays byte-exact).
+func WriteTaxonomyReport(w io.Writer, res *CampaignResult) {
+	horizon := res.Config.Duration
+	fmt.Fprintf(w, "\nFailure taxonomy (phase x transience)\n%s",
+		res.Taxonomy().Table(horizon).Render())
+	surv := res.Survival()
+	fmt.Fprintf(w, "\n%s", surv.Curve(horizon).Render())
+	fmt.Fprintf(w, "\n%s", surv.RenderInterarrival(40))
+}

@@ -1,0 +1,111 @@
+package btpan
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The report-capture suite pins the byte-exact canonical reports — the
+// btcampaign/btsink campaign report (WriteReport), the scatternet metro
+// roll-up, and the bridge/redundancy tables — against captures taken before
+// the taxonomy/survival schema change (PR 10). With taxonomy rendering off
+// (the default), every one of these reports must stay byte-identical: the
+// new record fields, accumulators and codec version must be invisible to
+// every pre-existing output.
+//
+// Regenerate (only when intentionally re-baselining on a known-good tree)
+// with:
+//
+//	go test -run TestGoldenReportCaptures -update-report-golden
+var updateReportGolden = flag.Bool("update-report-golden", false,
+	"rewrite testdata/report_golden.txt from the current tree")
+
+// reportGoldenPath is the capture file the suite pins against.
+const reportGoldenPath = "testdata/report_golden.txt"
+
+// captureReportGolden renders the pinned report matrix: the canonical
+// campaign report on both aggregation planes and two scenarios, the
+// scatternet metro roll-up, and the bridge + redundancy tables of a
+// K-redundant span.
+func captureReportGolden(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	for _, scen := range []Scenario{ScenarioRebootOnly, ScenarioSIRAs} {
+		for _, streaming := range []bool{false, true} {
+			cfg := CampaignConfig{Seed: 7, Duration: 6 * sim.Hour,
+				Scenario: scen, Streaming: streaming, Parallelism: 1}
+			res, err := RunCampaign(cfg)
+			if err != nil {
+				t.Fatalf("campaign scenario=%v streaming=%v: %v", scen, streaming, err)
+			}
+			fmt.Fprintf(&b, "=== campaign scenario=%v streaming=%v\n", scen, streaming)
+			WriteReport(&b, res)
+		}
+	}
+
+	roll := ScatternetConfig{
+		CampaignConfig: CampaignConfig{Seed: 7, Duration: 6 * sim.Hour,
+			Scenario: ScenarioSIRAs, Streaming: true, Parallelism: 1},
+		Piconets: 3, Topology: TopologyRing, HoldTime: 10 * sim.Second,
+		Rollup: true,
+	}
+	rollRes, err := RunScatternet(roll)
+	if err != nil {
+		t.Fatalf("scatternet rollup: %v", err)
+	}
+	fmt.Fprintf(&b, "=== scatternet rollup ring P=3\n%s", rollRes.Rollup.Render())
+
+	red := ScatternetConfig{
+		CampaignConfig: CampaignConfig{Seed: 7, Duration: 6 * sim.Hour,
+			Scenario: ScenarioSIRAs, Streaming: true, Parallelism: 1},
+		Piconets: 2, Bridges: 1, Redundancy: 2, HoldTime: 10 * sim.Second,
+	}
+	redRes, err := RunScatternet(red)
+	if err != nil {
+		t.Fatalf("scatternet redundancy: %v", err)
+	}
+	fmt.Fprintf(&b, "=== scatternet redundancy P=2 K=2\n")
+	fmt.Fprintf(&b, "bridges:\n%s", redRes.Bridges.Render())
+	fmt.Fprintf(&b, "redundancy:\n%s", redRes.Redundancy.Render())
+	return b.String()
+}
+
+// TestGoldenReportCaptures pins every canonical report byte-for-byte against
+// the pre-schema-change captures.
+func TestGoldenReportCaptures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("report capture matrix runs several six-hour campaigns; skipped in -short")
+	}
+	got := captureReportGolden(t)
+	if *updateReportGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(reportGoldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", reportGoldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(reportGoldenPath)
+	if err != nil {
+		t.Fatalf("missing capture file (run with -update-report-golden on a known-good tree): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("report diverges from the pre-change capture at line %d:\ngot:  %s\nwant: %s",
+				i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("report capture length diverges: got %d lines, want %d",
+		len(gotLines), len(wantLines))
+}

@@ -58,6 +58,46 @@ func TestScatternetRollupPublicAPI(t *testing.T) {
 	}
 }
 
+// TestScatternetRollupTaxonomyShardInvariant pins the taxonomy plane's
+// shard-count invariance: the deployment taxonomy table, the Kaplan-Meier
+// uptime curve and the partition-candidate list rendered from a roll-up must
+// be byte-identical whether one worker folded every piconet sequentially or
+// three workers folded contiguous ranges concurrently. Uptime intervals are
+// censored at the horizon per piconet before the fold merges them, so the
+// merged curve cannot depend on fold grouping.
+func TestScatternetRollupTaxonomyShardInvariant(t *testing.T) {
+	render := func(parallelism int) string {
+		cfg := ScatternetConfig{
+			CampaignConfig: CampaignConfig{
+				Seed: 5, Duration: 2 * sim.Hour, Scenario: ScenarioSIRAs,
+				Streaming: true, Parallelism: parallelism,
+			},
+			Piconets: 4, Topology: TopologyRing,
+			ProbeSample: 0.5, Rollup: true,
+		}
+		res, err := RunScatternet(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := res.Rollup.RenderTaxonomy(cfg.Duration)
+		if res.Topology.Bridges() > 0 {
+			out += "\n" + res.Redundancy.RenderPartitionCandidates(30)
+		}
+		return out
+	}
+	seq := render(1)
+	par := render(3)
+	if seq != par {
+		t.Errorf("taxonomy roll-up differs across shard counts:\n-- sequential --\n%s\n-- 3 shards --\n%s",
+			seq, par)
+	}
+	for _, want := range []string{"Deployment failure taxonomy", "Kaplan-Meier", "failure interarrival"} {
+		if !strings.Contains(seq, want) {
+			t.Errorf("taxonomy roll-up is missing %q:\n%s", want, seq)
+		}
+	}
+}
+
 // TestRandomSweepBuildsTopologyOnce is the hot-loop regression guard for
 // random-topology sweeps: the RandomConnected graph is a function of the
 // base seed alone, so a sweep must materialize it once up front (plus one

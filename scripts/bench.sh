@@ -10,7 +10,9 @@
 # the agent-side WAL overhead ratio (streaming day shipped through a real
 # agent/sink pair with and without the spill log — PR 6; budget: < 0.15),
 # and the scatternet scaling ladder (64/256/1024-piconet virtual days on the
-# sharded roll-up engine — PR 8; live_mb must stay flat across the ladder).
+# sharded roll-up engine — PR 8; live_mb must stay flat across the ladder),
+# and the taxonomy overhead ratio (streaming day with the taxonomy/survival
+# accumulators on vs forced off — PR 10; budget: < 0.05).
 # Usage: scripts/bench.sh [day-benchtime] [month-benchtime] [scale-benchtime]
 set -eu
 
@@ -32,7 +34,7 @@ metro_start="$(date +%s)"
 ./scripts/chaos_metro.sh >/dev/null
 metro_secs="$(($(date +%s) - metro_start))"
 
-day_out="$(go test -run '^$' -bench '^BenchmarkCampaignDay$' -benchtime "$day_benchtime" -benchmem . | tee /dev/stderr)"
+day_out="$(go test -run '^$' -bench '^BenchmarkCampaignDay(Taxonomy|NoTaxonomy)?$' -benchtime "$day_benchtime" -benchmem . | tee /dev/stderr)"
 month_out="$(go test -run '^$' -bench '^Benchmark(CampaignMonth(Retained)?|ScatternetDay)$' -benchtime "$month_benchtime" -benchmem . | tee /dev/stderr)"
 # The scaling ladder runs at 1x by default: the city rung is a whole
 # 1024-piconet virtual day per iteration.
@@ -57,6 +59,8 @@ printf '%s\n%s\n%s\n%s\n' "$day_out" "$month_out" "$scale_out" "$agent_out" | aw
         if ($i == "probes") probes = $(i-1)
     }
     if (name == "BenchmarkCampaignDay") { d_ns = ns; d_b = bytes; d_a = allocs; d_live = live }
+    if (name == "BenchmarkCampaignDayTaxonomy") { tax_ns = ns }
+    if (name == "BenchmarkCampaignDayNoTaxonomy") { notax_ns = ns }
     if (name == "BenchmarkCampaignMonth") { m_ns = ns; m_b = bytes; m_a = allocs; m_live = live; m_items = items }
     if (name == "BenchmarkCampaignMonthRetained") { r_live = live }
     if (name == "BenchmarkScatternetDay") { s_ns = ns; s_b = bytes; s_a = allocs; s_live = live; s_items = items; s_out = outages }
@@ -74,6 +78,7 @@ END {
         sc64_ns == "" || sc64_live == "" || sc64_items == "" || sc64_probes == "" ||
         sc256_ns == "" || sc256_live == "" || sc256_items == "" || sc256_probes == "" ||
         sc1024_ns == "" || sc1024_live == "" || sc1024_items == "" || sc1024_probes == "" ||
+        tax_ns == "" || notax_ns == "" ||
         ag_ns == "" || ags_ns == "") {
         print "bench.sh: missing benchmark lines or metrics" > "/dev/stderr"
         exit 1
@@ -109,6 +114,9 @@ END {
     printf "    {\"piconets\": 256, \"ns_per_op\": %s, \"live_mb\": %s, \"items\": %s, \"probes\": %s},\n", sc256_ns, sc256_live, sc256_items, sc256_probes
     printf "    {\"piconets\": 1024, \"ns_per_op\": %s, \"live_mb\": %s, \"items\": %s, \"probes\": %s}\n", sc1024_ns, sc1024_live, sc1024_items, sc1024_probes
     printf "  ],\n"
+    printf "  \"campaign_day_taxonomy_ns\": %s,\n", tax_ns
+    printf "  \"campaign_day_no_taxonomy_ns\": %s,\n", notax_ns
+    printf "  \"taxonomy_overhead_ratio\": %.4f,\n", (tax_ns - notax_ns) / notax_ns
     printf "  \"agent_stream_day_ns\": %s,\n", ag_ns
     printf "  \"agent_stream_day_spill_ns\": %s,\n", ags_ns
     printf "  \"agent_wal_overhead_ratio\": %.4f,\n", (ags_ns - ag_ns) / ag_ns

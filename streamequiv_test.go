@@ -77,6 +77,19 @@ func compareOutputs(t *testing.T, label string, a, b *CampaignResult) {
 	if !reflect.DeepEqual(a.Scalars(), b.Scalars()) {
 		t.Errorf("%s: §6 scalars diverge:\n a %+v\n b %+v", label, a.Scalars(), b.Scalars())
 	}
+	// The taxonomy plane: the rendered tables are the acceptance surface, so
+	// equality is asserted on the exact report bytes the -taxonomy flag
+	// emits, not on a tolerance.
+	horizon := a.Config.Duration
+	if got, want := a.Taxonomy().Table(horizon).Render(), b.Taxonomy().Table(horizon).Render(); got != want {
+		t.Errorf("%s: taxonomy table diverges:\n a:\n%s\n b:\n%s", label, got, want)
+	}
+	if got, want := a.Survival().Curve(horizon).Render(), b.Survival().Curve(horizon).Render(); got != want {
+		t.Errorf("%s: survival curve diverges:\n a:\n%s\n b:\n%s", label, got, want)
+	}
+	if got, want := a.Survival().RenderInterarrival(40), b.Survival().RenderInterarrival(40); got != want {
+		t.Errorf("%s: interarrival histogram diverges:\n a:\n%s\n b:\n%s", label, got, want)
+	}
 }
 
 // TestStreamingEquivalence proves the streaming aggregation plane is

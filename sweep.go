@@ -275,6 +275,19 @@ func (s *SweepResult) ScalarsCI() *analysis.ScalarsCI {
 	return analysis.BuildScalarsCI(all)
 }
 
+// TaxonomyCI summarizes the sweep's taxonomy/survival plane: per-phase
+// failure counts, the dynamic-availability share and the mean failure
+// interarrival as mean ± 95 % CI over the seeds.
+func (s *SweepResult) TaxonomyCI() *analysis.TaxonomyCI {
+	taxes := make([]*analysis.TaxonomyAccum, len(s.Runs))
+	survs := make([]*analysis.SurvivalAccum, len(s.Runs))
+	for i, r := range s.Runs {
+		taxes[i] = r.Taxonomy()
+		survs[i] = r.Survival()
+	}
+	return analysis.BuildTaxonomyCI(taxes, survs)
+}
+
 // PiconetDependabilityCI summarizes piconet p's Table 4 column over the
 // seeds of a scatternet sweep (nil when the sweep was not a scatternet or p
 // is out of range).

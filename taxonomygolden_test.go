@@ -1,0 +1,105 @@
+package btpan
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The taxonomy capture pins the NEW report surfaces of the taxonomy /
+// survival plane byte-for-byte: the -taxonomy appendix (phase x transience
+// table, Kaplan-Meier uptime curve, interarrival histogram) on both
+// aggregation planes, the deployment-wide roll-up rendering, and the
+// partition-candidate list of a K-redundant span. Together with
+// testdata/report_golden.txt (which proves the plane is invisible when not
+// rendered) this is the golden half of the PR 10 acceptance bar.
+//
+// Regenerate (only when intentionally re-baselining on a known-good tree)
+// with:
+//
+//	go test -run TestGoldenTaxonomyCaptures -update-taxonomy-golden
+var updateTaxonomyGolden = flag.Bool("update-taxonomy-golden", false,
+	"rewrite testdata/taxonomy_golden.txt from the current tree")
+
+// taxonomyGoldenPath is the capture file the suite pins against.
+const taxonomyGoldenPath = "testdata/taxonomy_golden.txt"
+
+// captureTaxonomyGolden renders the pinned taxonomy matrix.
+func captureTaxonomyGolden(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	for _, streaming := range []bool{false, true} {
+		cfg := CampaignConfig{Seed: 7, Duration: 6 * sim.Hour,
+			Scenario: ScenarioSIRAs, Streaming: streaming, Parallelism: 1}
+		res, err := RunCampaign(cfg)
+		if err != nil {
+			t.Fatalf("campaign streaming=%v: %v", streaming, err)
+		}
+		fmt.Fprintf(&b, "=== taxonomy streaming=%v\n", streaming)
+		WriteTaxonomyReport(&b, res)
+	}
+
+	roll := ScatternetConfig{
+		CampaignConfig: CampaignConfig{Seed: 7, Duration: 6 * sim.Hour,
+			Scenario: ScenarioSIRAs, Streaming: true, Parallelism: 1},
+		Piconets: 3, Topology: TopologyRing, HoldTime: 10 * sim.Second,
+		Rollup: true,
+	}
+	rollRes, err := RunScatternet(roll)
+	if err != nil {
+		t.Fatalf("scatternet rollup: %v", err)
+	}
+	fmt.Fprintf(&b, "=== scatternet rollup taxonomy ring P=3\n%s",
+		rollRes.Rollup.RenderTaxonomy(roll.Duration))
+
+	red := ScatternetConfig{
+		CampaignConfig: CampaignConfig{Seed: 7, Duration: 6 * sim.Hour,
+			Scenario: ScenarioSIRAs, Streaming: true, Parallelism: 1},
+		Piconets: 2, Bridges: 1, Redundancy: 2, HoldTime: 10 * sim.Second,
+	}
+	redRes, err := RunScatternet(red)
+	if err != nil {
+		t.Fatalf("scatternet redundancy: %v", err)
+	}
+	fmt.Fprintf(&b, "=== partition candidates P=2 K=2\n%s",
+		redRes.Redundancy.RenderPartitionCandidates(30))
+	return b.String()
+}
+
+// TestGoldenTaxonomyCaptures pins every taxonomy-plane report byte-for-byte.
+func TestGoldenTaxonomyCaptures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("taxonomy capture matrix runs several six-hour campaigns; skipped in -short")
+	}
+	got := captureTaxonomyGolden(t)
+	if *updateTaxonomyGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(taxonomyGoldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", taxonomyGoldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(taxonomyGoldenPath)
+	if err != nil {
+		t.Fatalf("missing capture file (run with -update-taxonomy-golden on a known-good tree): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("taxonomy capture diverges at line %d:\ngot:  %s\nwant: %s",
+				i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("taxonomy capture length diverges: got %d lines, want %d",
+		len(gotLines), len(wantLines))
+}
